@@ -1,0 +1,97 @@
+// Command datasets generates the synthetic dataset stand-ins and prints
+// their statistics next to the published Table 1 figures, so the
+// calibration documented in DESIGN.md §4 can be inspected at any scale.
+//
+// Usage:
+//
+//	datasets -scale 0.05
+//	datasets -scale 0.05 -only facebook,enron
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/sociograph/reconcile/internal/datasets"
+	"github.com/sociograph/reconcile/internal/eval"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.05, "stand-in size as a fraction of the published dataset size")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		only  = flag.String("only", "", "comma-separated subset: facebook, enron, an, dblp, gowalla, wikipedia")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	pick := func(name string) bool { return len(want) == 0 || want[name] }
+
+	t := &eval.Table{
+		Title:  fmt.Sprintf("dataset stand-ins at scale %.3f (published sizes in parentheses)", *scale),
+		Header: []string{"dataset", "nodes", "edges", "avg deg", "deg<=5", "clustering"},
+	}
+	published := map[string]datasets.PaperStats{}
+	for _, d := range datasets.Table1 {
+		published[d.Name] = d
+	}
+	addRow := func(name, paperName string, g *graph.Graph) {
+		s := graph.ComputeStats(g)
+		pub := published[paperName]
+		t.AddRow(
+			fmt.Sprintf("%s (%d / %d)", name, pub.Nodes, pub.Edges),
+			s.Nodes, s.Edges,
+			s.AvgDegree,
+			fmt.Sprintf("%.0f%%", 100*float64(s.DegreeLE5)/float64(max(s.Nodes, 1))),
+			graph.AverageClustering(g, 13),
+		)
+	}
+
+	r := xrand.New(*seed)
+	if pick("facebook") {
+		addRow("facebook", "Facebook", datasets.Facebook(r.Split(), *scale))
+	}
+	if pick("enron") {
+		addRow("enron", "Enron", datasets.Enron(r.Split(), *scale))
+	}
+	if pick("an") {
+		an := datasets.AffiliationStandIn(r.Split(), *scale)
+		addRow("an (folded)", "AN", an.Fold(150))
+	}
+	if pick("dblp") {
+		d := datasets.DBLP(r.Split(), *scale)
+		g1, g2 := d.Split()
+		addRow("dblp (even years)", "DBLP", g1)
+		addRow("dblp (odd years)", "DBLP", g2)
+	}
+	if pick("gowalla") {
+		d := datasets.Gowalla(r.Split(), *scale)
+		addRow("gowalla (friends)", "Gowalla", d.Friends)
+		g1, g2 := d.Split()
+		addRow("gowalla (odd months)", "Gowalla", g1)
+		addRow("gowalla (even months)", "Gowalla", g2)
+	}
+	if pick("wikipedia") {
+		d := datasets.Wikipedia(r.Split(), *scale/10)
+		addRow("wikipedia FR", "French Wikipedia", d.FR)
+		addRow("wikipedia DE", "German Wikipedia", d.DE)
+		fmt.Fprintf(os.Stderr, "wikipedia: %d shared concepts, %d curated links\n", len(d.Truth), len(d.InterLang))
+	}
+	fmt.Println(t)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDatasetsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "datasets")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-scale", "0.01", "-only", "facebook,enron").Output()
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "facebook") || !strings.Contains(s, "enron") {
+		t.Fatalf("missing datasets in output:\n%s", s)
+	}
+	if strings.Contains(s, "gowalla") {
+		t.Fatalf("-only filter ignored:\n%s", s)
+	}
+}

@@ -1,0 +1,57 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run figure2,table4 -scale 0.1 -seed 3
+//
+// Each experiment prints the same rows the paper reports (see DESIGN.md §5
+// for the experiment index and EXPERIMENTS.md for paper-vs-measured notes).
+// Scale is the stand-in size as a fraction of the paper's dataset sizes;
+// the default suite finishes in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sociograph/reconcile/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment names, or 'all' (available: "+strings.Join(experiments.Names(), ", ")+")")
+		scale    = flag.Float64("scale", 0.05, "stand-in size as a fraction of the paper's dataset sizes, in (0,1]")
+		seed     = flag.Uint64("seed", 1, "random seed; every experiment is deterministic in it")
+		rmatBase = flag.Int("rmatbase", 15, "smallest RMAT scale for table2 (paper uses 24/26/28)")
+		workers  = flag.Int("workers", 0, "matcher goroutines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, RMATBase: *rmatBase, Workers: *workers}
+	var names []string
+	if *run == "all" {
+		names = experiments.Names()
+	} else {
+		names = strings.Split(*run, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		runner, ok := experiments.Registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (available: %s)\n", name, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := runner(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s finished in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

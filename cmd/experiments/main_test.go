@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "experiments")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-run", "table5gowalla", "-scale", "0.02", "-seed", "3").Output()
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	s := string(out)
+	if !strings.Contains(s, "Table 5") || !strings.Contains(s, "finished in") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+
+	// Unknown experiment exits nonzero and names the registry.
+	cmd := exec.Command(bin, "-run", "nope")
+	msg, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(string(msg), "available") {
+		t.Fatalf("error does not list experiments: %s", msg)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSelf compiles this command once per test binary into a temp dir.
+func buildSelf(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gengraph")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building gengraph: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestGengraphModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := buildSelf(t)
+	for _, args := range [][]string{
+		{"-model", "pa", "-n", "200", "-m", "3"},
+		{"-model", "er", "-n", "200", "-p", "0.05"},
+		{"-model", "rmat", "-rmatscale", "7"},
+		{"-model", "ws", "-n", "100", "-k", "2"},
+		{"-model", "affiliation", "-n", "150"},
+	} {
+		out, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.HasPrefix(string(out), "#") {
+			t.Fatalf("%v: output does not start with a header comment", args)
+		}
+		if !strings.Contains(string(out), "\t") {
+			t.Fatalf("%v: no edges emitted", args)
+		}
+	}
+}
+
+func TestGengraphWritesFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := buildSelf(t)
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := exec.Command(bin, "-model", "pa", "-n", "100", "-m", "2", "-out", out).Run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty output file")
+	}
+}
+
+func TestGengraphUnknownModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := buildSelf(t)
+	if err := exec.Command(bin, "-model", "nope").Run(); err == nil {
+		t.Fatal("unknown model should exit nonzero")
+	}
+}

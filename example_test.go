@@ -1,0 +1,58 @@
+package reconcile_test
+
+import (
+	"fmt"
+
+	"github.com/sociograph/reconcile"
+)
+
+// The basic model end to end: a hidden network, two partial copies, a few
+// seed links, reconciliation, evaluation.
+func ExampleReconcile() {
+	r := reconcile.NewRand(7)
+	world := reconcile.GeneratePA(r, 2000, 10)
+	g1, g2 := reconcile.IndependentCopies(r, world, 0.7, 0.7)
+	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(2000), 0.10)
+
+	res, err := reconcile.Reconcile(g1, g2, seeds, reconcile.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	c := reconcile.Evaluate(res.Pairs, res.Seeds, reconcile.IdentityTruth(2000))
+	fmt.Printf("good=%d bad=%d\n", c.Good, c.Bad)
+	// Output: good=1768 bad=5
+}
+
+// Incremental reconciliation: run, learn more trusted links, resume.
+func ExampleNewSession() {
+	r := reconcile.NewRand(7)
+	world := reconcile.GeneratePA(r, 2000, 10)
+	g1, g2 := reconcile.IndependentCopies(r, world, 0.7, 0.7)
+	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(2000), 0.10)
+
+	sess, err := reconcile.NewSession(g1, g2, seeds[:len(seeds)/2], reconcile.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	sess.RunUntilStable(10)
+	phase1 := sess.Len()
+
+	for _, s := range seeds[len(seeds)/2:] {
+		// A late seed can conflict with an existing link; skip those.
+		_ = sess.AddSeeds([]reconcile.Pair{s})
+	}
+	sess.RunUntilStable(10)
+	fmt.Printf("grew=%v\n", sess.Len() >= phase1)
+	// Output: grew=true
+}
+
+// Options control the precision/recall trade: higher thresholds are
+// stricter.
+func ExampleOptions() {
+	opts := reconcile.DefaultOptions()
+	opts.Threshold = 3 // require 3 similarity witnesses
+	opts.MinMargin = 1 // and a strict gap over the runner-up
+	opts.Engine = reconcile.EngineSequential
+	fmt.Println(opts.Threshold, opts.MinMargin)
+	// Output: 3 1
+}

@@ -1,0 +1,55 @@
+// Attack robustness: the paper's adversarial experiment.
+//
+// An attacker clones every user on both networks: each clone sends friend
+// requests to the victim's real friends, half of which are accepted — a
+// profile that is locally almost indistinguishable from the victim, built
+// to defeat feature-based matchers. User-Matching's mutual-best rule over
+// similarity witnesses still aligns the real accounts with very few errors;
+// the attacker's clones mostly align with each other, never stealing a real
+// identity.
+//
+// Run with: go run ./examples/attack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/sociograph/reconcile"
+)
+
+func main() {
+	r := reconcile.NewRand(11)
+
+	world := reconcile.GeneratePA(r, 6000, 12)
+	n := world.NumNodes()
+	g1, g2 := reconcile.IndependentCopies(r, world, 0.75, 0.75)
+
+	// The attack hits both services independently.
+	g1 = reconcile.SybilAttack(r, g1, 0.5)
+	g2 = reconcile.SybilAttack(r, g2, 0.5)
+	fmt.Printf("network 1 under attack: %v\n", reconcile.ComputeStats(g1))
+	fmt.Printf("network 2 under attack: %v\n", reconcile.ComputeStats(g2))
+
+	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(n), 0.10)
+	res, err := reconcile.Reconcile(g1, g2, seeds, reconcile.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score: clone of node v carries ID n+v on both sides.
+	var good, bad, cloneAligned int
+	for _, p := range res.NewPairs {
+		switch {
+		case int(p.Left) < n && p.Left == p.Right:
+			good++
+		case int(p.Left) >= n && p.Left == p.Right:
+			cloneAligned++
+		default:
+			bad++
+		}
+	}
+	fmt.Printf("real users identified: %d of %d possible (%d seeds)\n", good, n, len(seeds))
+	fmt.Printf("misidentifications: %d (%.3f%% of real matches)\n", bad, 100*float64(bad)/float64(good+bad))
+	fmt.Printf("attacker clones aligned to each other (harmless): %d\n", cloneAligned)
+}

@@ -1,0 +1,41 @@
+package reconcile_test
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end. Each example
+// is deterministic (fixed seeds), so beyond "it runs", the test checks one
+// load-bearing line of each output.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		dir      string
+		mustShow string
+	}{
+		{"./examples/quickstart", "discovered"},
+		{"./examples/deanonymize", "re-identified"},
+		{"./examples/crosslingual", "matched"},
+		{"./examples/attack", "real users identified"},
+		{"./examples/friendsuggest", "cross-network suggestions"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			cmd := exec.Command("go", "run", c.dir)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.mustShow) {
+				t.Fatalf("%s output missing %q:\n%s", c.dir, c.mustShow, out)
+			}
+		})
+	}
+}

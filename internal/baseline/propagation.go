@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// PropagationOptions configures the Narayanan–Shmatikov-style matcher.
+type PropagationOptions struct {
+	// MinEccentricity is the acceptance bar: the gap between the best and
+	// second-best candidate scores, measured in standard deviations of the
+	// candidate score distribution (NS09's eccentricity heuristic).
+	MinEccentricity float64
+	// Iterations bounds the number of full propagation sweeps.
+	Iterations int
+}
+
+// DefaultPropagation uses NS09's published eccentricity threshold of 0.5
+// and enough sweeps to converge on the workloads in this repository.
+func DefaultPropagation() PropagationOptions {
+	return PropagationOptions{MinEccentricity: 0.5, Iterations: 3}
+}
+
+// Propagation grows the seed set in the style of Narayanan & Shmatikov
+// (S&P 2009): candidate scores are common linked neighbors normalized by
+// 1/sqrt(deg) of the candidate (cosine-style normalization), and a match is
+// accepted when its eccentricity — (best − second) / σ(scores) — clears the
+// threshold. Unlike User-Matching there is no degree schedule and no strict
+// mutual-best requirement; a reverse check (the reverse best must agree) is
+// applied as in the published algorithm.
+//
+// The per-node cost is Θ(d1 · d2) over linked neighbors, the O((E1+E2)Δ1Δ2)
+// total the paper contrasts with its own O((E1+E2) min(Δ1,Δ2) log …).
+func Propagation(g1, g2 *graph.Graph, seeds []graph.Pair, opts PropagationOptions) ([]graph.Pair, error) {
+	if opts.Iterations < 1 {
+		return nil, fmt.Errorf("baseline: Iterations must be >= 1")
+	}
+	if opts.MinEccentricity < 0 {
+		return nil, fmt.Errorf("baseline: MinEccentricity must be >= 0")
+	}
+	n1, n2 := g1.NumNodes(), g2.NumNodes()
+	const none = ^graph.NodeID(0)
+	link := make([]graph.NodeID, n1)
+	rlink := make([]graph.NodeID, n2)
+	for i := range link {
+		link[i] = none
+	}
+	for i := range rlink {
+		rlink[i] = none
+	}
+	var pairs []graph.Pair
+	for _, s := range seeds {
+		if int(s.Left) >= n1 || int(s.Right) >= n2 {
+			return nil, fmt.Errorf("baseline: seed %v out of range", s)
+		}
+		if link[s.Left] != none || rlink[s.Right] != none {
+			return nil, fmt.Errorf("baseline: conflicting seed %v", s)
+		}
+		link[s.Left] = s.Right
+		rlink[s.Right] = s.Left
+		pairs = append(pairs, s)
+	}
+
+	scores := make([]float64, n2)
+	var touched []graph.NodeID
+	// forwardBest returns v1's best candidate and its eccentricity.
+	forwardBest := func(v1 graph.NodeID) (graph.NodeID, float64, bool) {
+		for _, u1 := range g1.Neighbors(v1) {
+			u2 := link[u1]
+			if u2 == none {
+				continue
+			}
+			for _, v2 := range g2.Neighbors(u2) {
+				if rlink[v2] != none {
+					continue
+				}
+				if scores[v2] == 0 {
+					touched = append(touched, v2)
+				}
+				scores[v2] += 1 / math.Sqrt(float64(g2.Degree(v2)))
+			}
+		}
+		if len(touched) == 0 {
+			return 0, 0, false
+		}
+		best, second := -1.0, -1.0
+		var bestNode graph.NodeID
+		var sum, sumSq float64
+		for _, v2 := range touched {
+			sc := scores[v2]
+			scores[v2] = 0
+			sum += sc
+			sumSq += sc * sc
+			if sc > best {
+				second = best
+				best = sc
+				bestNode = v2
+			} else if sc > second {
+				second = sc
+			}
+		}
+		count := float64(len(touched))
+		touched = touched[:0]
+		if second < 0 {
+			second = 0
+		}
+		mean := sum / count
+		variance := sumSq/count - mean*mean
+		if variance < 1e-12 {
+			// Degenerate distribution: a single distinct value. Accept only
+			// a lone candidate (second == 0 and count == 1).
+			if count == 1 {
+				return bestNode, math.Inf(1), true
+			}
+			return 0, 0, false
+		}
+		ecc := (best - second) / math.Sqrt(variance)
+		return bestNode, ecc, true
+	}
+	// reverseBest is forwardBest mirrored, scoring candidates in G1 for a
+	// node of G2.
+	rscores := make([]float64, n1)
+	var rtouched []graph.NodeID
+	reverseBest := func(v2 graph.NodeID) (graph.NodeID, bool) {
+		for _, u2 := range g2.Neighbors(v2) {
+			u1 := rlink[u2]
+			if u1 == none {
+				continue
+			}
+			for _, v1 := range g1.Neighbors(u1) {
+				if link[v1] != none {
+					continue
+				}
+				if rscores[v1] == 0 {
+					rtouched = append(rtouched, v1)
+				}
+				rscores[v1] += 1 / math.Sqrt(float64(g1.Degree(v1)))
+			}
+		}
+		best := -1.0
+		var bestNode graph.NodeID
+		found := false
+		for _, v1 := range rtouched {
+			sc := rscores[v1]
+			rscores[v1] = 0
+			if sc > best {
+				best = sc
+				bestNode = v1
+				found = true
+			}
+		}
+		rtouched = rtouched[:0]
+		return bestNode, found
+	}
+
+	for iter := 0; iter < opts.Iterations; iter++ {
+		added := 0
+		for v1 := 0; v1 < n1; v1++ {
+			if link[v1] != none {
+				continue
+			}
+			cand, ecc, ok := forwardBest(graph.NodeID(v1))
+			if !ok || ecc < opts.MinEccentricity {
+				continue
+			}
+			// Reverse check: the candidate's best reverse match must be v1.
+			back, ok := reverseBest(cand)
+			if !ok || back != graph.NodeID(v1) {
+				continue
+			}
+			link[v1] = cand
+			rlink[cand] = graph.NodeID(v1)
+			pairs = append(pairs, graph.Pair{Left: graph.NodeID(v1), Right: cand})
+			added++
+		}
+		if added == 0 {
+			break
+		}
+	}
+	return pairs, nil
+}

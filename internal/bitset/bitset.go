@@ -1,0 +1,66 @@
+// Package bitset implements a dense bitset over node indices.
+//
+// The matcher and the graph traversals mark millions of nodes per pass;
+// a []uint64-backed bitset keeps that at one bit per node with O(1)
+// set/test and fast clearing.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset over [0, Len()). The zero value is an
+// empty set of capacity zero; use New for a sized set.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitset with capacity for n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i. It panics if i is out of range.
+func (s *Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears every bit, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}

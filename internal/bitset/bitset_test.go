@@ -1,0 +1,115 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Count() != 0 {
+		t.Fatalf("fresh set Count = %d", s.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set on fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Reset()
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d", got)
+	}
+	if s.Len() != 130 {
+		t.Fatalf("Len changed after Reset: %d", s.Len())
+	}
+}
+
+func TestSetIdempotent(t *testing.T) {
+	s := New(10)
+	s.Set(3)
+	s.Set(3)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count = %d after double Set", got)
+	}
+	s.Clear(5) // clearing an unset bit is a no-op
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count = %d after Clear of unset bit", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	s := New(8)
+	check("Set(-1)", func() { s.Set(-1) })
+	check("Set(8)", func() { s.Set(8) })
+	check("Test(8)", func() { s.Test(8) })
+	check("Clear(-1)", func() { s.Clear(-1) })
+	check("New(-1)", func() { New(-1) })
+}
+
+func TestZeroCapacity(t *testing.T) {
+	s := New(0)
+	if s.Len() != 0 || s.Count() != 0 {
+		t.Fatalf("New(0): Len=%d Count=%d", s.Len(), s.Count())
+	}
+}
+
+func TestCountMatchesReference(t *testing.T) {
+	// Property: Count equals the number of distinct indices ever Set and not
+	// subsequently Cleared, for arbitrary operation sequences.
+	type op struct {
+		Idx uint16
+		Set bool
+	}
+	err := quick.Check(func(ops []op) bool {
+		const n = 256
+		s := New(n)
+		ref := map[int]bool{}
+		for _, o := range ops {
+			i := int(o.Idx) % n
+			if o.Set {
+				s.Set(i)
+				ref[i] = true
+			} else {
+				s.Clear(i)
+				delete(ref, i)
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Test(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

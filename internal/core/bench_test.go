@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// Matcher micro-benchmarks: the per-bucket scoring pass under different
+// schedules and policies, on a mid-size PA instance.
+
+func benchInstance(b *testing.B) (*graph.Graph, *graph.Graph, []graph.Pair) {
+	b.Helper()
+	return testInstance(77, 20000)
+}
+
+func benchRun(b *testing.B, opts Options) {
+	g1, g2, seeds := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconcile(g1, g2, seeds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBucketed(b *testing.B) {
+	benchRun(b, DefaultOptions())
+}
+
+func BenchmarkUnbucketed(b *testing.B) {
+	o := DefaultOptions()
+	o.DisableBucketing = true
+	benchRun(b, o)
+}
+
+func BenchmarkHighThreshold(b *testing.B) {
+	o := DefaultOptions()
+	o.Threshold = 5 // the linked-count skip prunes most nodes
+	benchRun(b, o)
+}
+
+func BenchmarkWeightedScoring(b *testing.B) {
+	o := DefaultOptions()
+	o.Scoring = ScoreAdamicAdar
+	benchRun(b, o)
+}
+
+func BenchmarkSimilarityWitnesses(b *testing.B) {
+	g1, g2, seeds := benchInstance(b)
+	m, err := NewMatching(g1.NumNodes(), g2.NumNodes(), seeds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := graph.NodeID(i % g1.NumNodes())
+		SimilarityWitnesses(g1, g2, m, v, v)
+	}
+}

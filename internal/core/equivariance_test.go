@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// User-Matching depends only on graph structure, so it must be equivariant
+// under node relabeling: permuting G2's node IDs (and the seeds' right
+// endpoints accordingly) must permute the output pairs the same way.
+// This is the formal statement of "the matcher can't cheat by reading IDs"
+// — except for the documented TieLowestID policy, which is ID-dependent by
+// design, so the test runs under TieReject.
+func TestReconcileEquivariantUnderRelabeling(t *testing.T) {
+	r := xrand.New(31)
+	g1, g2, seeds := testInstance(31, 400)
+	n2 := g2.NumNodes()
+
+	permInts := r.Perm(n2)
+	perm := make([]graph.NodeID, n2)
+	for i, p := range permInts {
+		perm[i] = graph.NodeID(p)
+	}
+	g2p := graph.Relabel(g2, perm)
+	seedsP := make([]graph.Pair, len(seeds))
+	for i, s := range seeds {
+		seedsP[i] = graph.Pair{Left: s.Left, Right: perm[s.Right]}
+	}
+
+	opts := DefaultOptions()
+	base, err := Reconcile(g1, g2, seeds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	permuted, err := Reconcile(g1, g2p, seedsP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Pairs) != len(permuted.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(base.Pairs), len(permuted.Pairs))
+	}
+	want := make(map[graph.Pair]bool, len(base.Pairs))
+	for _, p := range base.Pairs {
+		want[graph.Pair{Left: p.Left, Right: perm[p.Right]}] = true
+	}
+	for _, p := range permuted.Pairs {
+		if !want[p] {
+			t.Fatalf("pair %v not the image of a base pair", p)
+		}
+	}
+}
+
+func TestMatchingAdd(t *testing.T) {
+	m, err := NewMatching(3, 3, []graph.Pair{{Left: 0, Right: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(graph.Pair{Left: 1, Right: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.LeftMatch(1) != 2 || m.RightMatch(2) != 1 {
+		t.Fatal("Add did not link")
+	}
+	if err := m.Add(graph.Pair{Left: 1, Right: 1}); err == nil {
+		t.Error("re-adding matched left accepted")
+	}
+	if err := m.Add(graph.Pair{Left: 0, Right: 1}); err == nil {
+		t.Error("re-adding matched left (seed) accepted")
+	}
+	if err := m.Add(graph.Pair{Left: 2, Right: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(graph.Pair{Left: 5, Right: 0}); err == nil {
+		t.Error("out-of-range left accepted")
+	}
+	if err := m.Add(graph.Pair{Left: 0, Right: 5}); err == nil {
+		t.Error("out-of-range right accepted")
+	}
+	if m.Len() != 3 || m.SeedCount() != 1 {
+		t.Fatalf("len=%d seeds=%d", m.Len(), m.SeedCount())
+	}
+	if got := m.NewPairs(); len(got) != 2 {
+		t.Fatalf("new pairs = %v", got)
+	}
+	if err := m.validateInjective(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// Session is the incremental form of Reconcile for production pipelines:
+// networks are reconciled once, then new trusted links trickle in (users
+// keep connecting their accounts) and the matching is extended without
+// recomputing from scratch. A Session holds the evolving link set and its
+// bookkeeping; each Run performs full bucket sweeps, so results after
+// AddSeeds+Run are exactly what a fresh Reconcile with the union of seeds
+// would eventually find (the algorithm is monotone: links are never
+// retracted).
+type Session struct {
+	g1, g2 *graph.Graph
+	opts   Options
+	m      *Matching
+	lc     *linkedCounts
+	phases []PhaseStat
+	sweeps int
+}
+
+// NewSession prepares an incremental matcher over the two networks with the
+// initial seed links. The Iterations option is ignored; sweeps are driven
+// by Run.
+func NewSession(g1, g2 *graph.Graph, seeds []graph.Pair, opts Options) (*Session, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if g1 == nil || g2 == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	m, err := NewMatching(g1.NumNodes(), g2.NumNodes(), seeds)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		g1:   g1,
+		g2:   g2,
+		opts: opts,
+		m:    m,
+		lc:   newLinkedCounts(g1, g2, m),
+	}, nil
+}
+
+// AddSeeds injects newly learned trusted links. A seed whose endpoints are
+// already linked to each other is ignored; a seed conflicting with an
+// existing link (either endpoint linked elsewhere) is rejected with an
+// error and no partial state change for that seed.
+func (s *Session) AddSeeds(seeds []graph.Pair) error {
+	for _, p := range seeds {
+		if int(p.Left) < len(s.m.left) && s.m.left[p.Left] == p.Right {
+			continue // already known
+		}
+		if err := s.m.Add(p); err != nil {
+			return err
+		}
+		s.lc.addPair(s.g1, s.g2, p)
+	}
+	return nil
+}
+
+// Run performs the given number of full bucket sweeps and returns how many
+// new links were found.
+func (s *Session) Run(sweeps int) int {
+	found := 0
+	buckets := s.opts.buckets(s.g1, s.g2)
+	for i := 0; i < sweeps; i++ {
+		s.sweeps++
+		for _, minDeg := range buckets {
+			matched := runBucket(s.g1, s.g2, s.m, s.lc, minDeg, s.opts)
+			found += matched
+			s.phases = append(s.phases, PhaseStat{
+				Iteration: s.sweeps,
+				MinDegree: minDeg,
+				Matched:   matched,
+				TotalL:    s.m.Len(),
+			})
+		}
+	}
+	return found
+}
+
+// RunUntilStable sweeps until a full sweep finds nothing new (or maxSweeps
+// is reached), returning the total number of links found.
+func (s *Session) RunUntilStable(maxSweeps int) int {
+	total := 0
+	for i := 0; i < maxSweeps; i++ {
+		found := s.Run(1)
+		total += found
+		if found == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// Len returns the current number of links, seeds included.
+func (s *Session) Len() int { return s.m.Len() }
+
+// Result snapshots the session as a Result (same layout as Reconcile's).
+func (s *Session) Result() *Result {
+	return &Result{
+		Pairs:    s.m.Pairs(),
+		NewPairs: s.m.NewPairs(),
+		Seeds:    s.m.SeedCount(),
+		Phases:   append([]PhaseStat(nil), s.phases...),
+	}
+}

@@ -1,0 +1,270 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestFacebookStats(t *testing.T) {
+	g := Facebook(xrand.New(1), 0.2) // ~12.7K nodes
+	s := graph.ComputeStats(g)
+	t.Logf("facebook stand-in: %v", s)
+	if s.Nodes < 12000 || s.Nodes > 13500 {
+		t.Fatalf("nodes = %d", s.Nodes)
+	}
+	// Published avg degree ≈ 48.5; accept a generous band for the stand-in.
+	if s.AvgDegree < 30 || s.AvgDegree > 75 {
+		t.Errorf("avg degree = %.1f, want ≈ 48", s.AvgDegree)
+	}
+	// The paper's recall ceiling: roughly 28% of nodes at degree ≤ 5.
+	lowFrac := float64(s.DegreeLE5) / float64(s.Nodes)
+	if lowFrac < 0.15 || lowFrac > 0.45 {
+		t.Errorf("degree<=5 fraction = %.2f, want ≈ 0.28", lowFrac)
+	}
+	if s.MaxDegree < 10*s.MedDegree {
+		t.Errorf("maxdeg=%d meddeg=%d: not skewed", s.MaxDegree, s.MedDegree)
+	}
+	// The triadic-closure pass must leave measurable clustering — the raw
+	// configuration model is locally tree-like (clustering ≈ d̄/n ≈ 0.004),
+	// and the matcher's witnesses need triangles to survive the copies.
+	if cc := graph.AverageClustering(g, 7); cc < 0.01 {
+		t.Errorf("average clustering %.4f; closure pass ineffective", cc)
+	}
+}
+
+func TestEnronStats(t *testing.T) {
+	g := Enron(xrand.New(2), 0.3) // ~11K nodes
+	s := graph.ComputeStats(g)
+	t.Logf("enron stand-in: %v", s)
+	if s.AvgDegree < 10 || s.AvgDegree > 32 {
+		t.Errorf("avg degree = %.1f, want ≈ 20", s.AvgDegree)
+	}
+	lowFrac := float64(s.DegreeLE5) / float64(s.Nodes)
+	if lowFrac < 0.45 {
+		t.Errorf("degree<=5 fraction = %.2f; Enron is low-degree dominated", lowFrac)
+	}
+}
+
+func TestAffiliationStandIn(t *testing.T) {
+	an := AffiliationStandIn(xrand.New(3), 0.05)
+	if an.Users < 2500 || an.Users > 3500 {
+		t.Fatalf("users = %d", an.Users)
+	}
+	g := an.Fold(150)
+	s := graph.ComputeStats(g)
+	t.Logf("AN stand-in folded: %v", s)
+	if s.AvgDegree < 3 {
+		t.Errorf("avg degree = %.1f; folded AN should be dense-ish", s.AvgDegree)
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	d := DBLP(xrand.New(5), 0.01) // ~44K authors
+	if d.Nodes < 40000 {
+		t.Fatalf("nodes = %d", d.Nodes)
+	}
+	if len(d.Edges) == 0 {
+		t.Fatal("no temporal edges")
+	}
+	g1, g2 := d.Split()
+	if g1.NumNodes() != d.Nodes || g2.NumNodes() != d.Nodes {
+		t.Fatal("split changed node space")
+	}
+	if g1.NumEdges() == 0 || g2.NumEdges() == 0 {
+		t.Fatal("a split side is empty")
+	}
+	inter := graph.Intersection(g1, g2)
+	if inter.NumEdges() == 0 {
+		t.Fatal("even/odd copies share no edges; repeat collaborations missing")
+	}
+	s := graph.ComputeStats(inter)
+	lowFrac := float64(s.DegreeLE5) / float64(s.Nodes)
+	if lowFrac < 0.7 {
+		t.Errorf("intersection degree<=5 fraction = %.2f; DBLP should be low-degree dominated", lowFrac)
+	}
+	// Year range sanity.
+	for _, e := range d.Edges[:10] {
+		if e.Time < 1990 || e.Time >= 2014 {
+			t.Fatalf("year %d out of range", e.Time)
+		}
+	}
+}
+
+func TestGowallaShape(t *testing.T) {
+	d := Gowalla(xrand.New(6), 0.05) // ~9.8K users
+	s := graph.ComputeStats(d.Friends)
+	t.Logf("gowalla friends: %v", s)
+	if s.AvgDegree < 6 || s.AvgDegree > 14 {
+		t.Errorf("friendship avg degree = %.1f, want ≈ 9.7", s.AvgDegree)
+	}
+	g1, g2 := d.Split()
+	// Copies must be subgraphs of the friendship graph.
+	g1.Edges(func(e graph.Edge) bool {
+		if !d.Friends.HasEdge(e.U, e.V) {
+			t.Fatalf("copy edge %v not a friendship", e)
+		}
+		return true
+	})
+	// The intersection keeps only a minority of nodes (paper: 38K/196K).
+	inter := graph.Intersection(g1, g2)
+	si := graph.ComputeStats(inter)
+	alive := si.Nodes - si.Isolated
+	if alive == 0 {
+		t.Fatal("empty intersection")
+	}
+	if float64(alive) > 0.6*float64(s.Nodes) {
+		t.Errorf("intersection covers %d/%d nodes; should be a minority", alive, s.Nodes)
+	}
+}
+
+func TestWikipediaShape(t *testing.T) {
+	d := Wikipedia(xrand.New(7), 0.004) // ~17K concepts
+	if d.FR.NumNodes() <= d.DE.NumNodes() {
+		t.Errorf("FR (%d) should be larger than DE (%d)", d.FR.NumNodes(), d.DE.NumNodes())
+	}
+	ratio := float64(d.DE.NumNodes()) / float64(d.FR.NumNodes())
+	if ratio < 0.45 || ratio > 0.9 {
+		t.Errorf("DE/FR size ratio = %.2f, want ≈ 0.65", ratio)
+	}
+	if len(d.Truth) == 0 || len(d.InterLang) == 0 {
+		t.Fatal("missing truth or interlang links")
+	}
+	if len(d.InterLang) >= len(d.Truth) {
+		t.Errorf("interlang (%d) should be a strict subset of truth (%d)", len(d.InterLang), len(d.Truth))
+	}
+	// Truth pairs must be injective and in-range.
+	seenL := map[graph.NodeID]bool{}
+	seenR := map[graph.NodeID]bool{}
+	for _, p := range d.Truth {
+		if int(p.Left) >= d.FR.NumNodes() || int(p.Right) >= d.DE.NumNodes() {
+			t.Fatalf("truth pair %v out of range", p)
+		}
+		if seenL[p.Left] || seenR[p.Right] {
+			t.Fatalf("truth pair %v duplicates an endpoint", p)
+		}
+		seenL[p.Left] = true
+		seenR[p.Right] = true
+	}
+	// InterLang must be injective (it seeds the matcher).
+	seenL = map[graph.NodeID]bool{}
+	seenR = map[graph.NodeID]bool{}
+	for _, p := range d.InterLang {
+		if seenL[p.Left] || seenR[p.Right] {
+			t.Fatalf("interlang pair %v duplicates an endpoint", p)
+		}
+		seenL[p.Left] = true
+		seenR[p.Right] = true
+	}
+	// Some corruption should exist (noisy links), but only a small fraction.
+	truth := map[graph.NodeID]graph.NodeID{}
+	for _, p := range d.Truth {
+		truth[p.Left] = p.Right
+	}
+	bad := 0
+	for _, p := range d.InterLang {
+		if truth[p.Left] != p.Right {
+			bad++
+		}
+	}
+	frac := float64(bad) / float64(len(d.InterLang))
+	if frac > 0.05 {
+		t.Errorf("interlang corruption %.3f too high", frac)
+	}
+}
+
+func TestScalePanics(t *testing.T) {
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("scale %v did not panic", bad)
+				}
+			}()
+			Facebook(xrand.New(1), bad)
+		}()
+	}
+}
+
+func TestTable1Published(t *testing.T) {
+	if len(Table1) != 11 {
+		t.Fatalf("Table1 has %d entries, want 11", len(Table1))
+	}
+	for _, d := range Table1 {
+		if d.Nodes <= 0 || d.Edges <= 0 || d.Name == "" {
+			t.Fatalf("bad Table1 entry %+v", d)
+		}
+	}
+}
+
+func TestTemporalRoundTrip(t *testing.T) {
+	d := DBLP(xrand.New(8), 0.0005)
+	var buf bytes.Buffer
+	if err := WriteTemporalEdgeList(&buf, d.Nodes, d.Edges); err != nil {
+		t.Fatal(err)
+	}
+	n, edges, ids, err := ReadTemporalEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != len(d.Edges) {
+		t.Fatalf("events %d, want %d", len(edges), len(d.Edges))
+	}
+	if n != len(ids) {
+		t.Fatalf("n=%d ids=%d", n, len(ids))
+	}
+	// Times survive verbatim; endpoints survive up to the dense remapping.
+	for i := range edges {
+		if edges[i].Time != d.Edges[i].Time {
+			t.Fatalf("event %d time %d, want %d", i, edges[i].Time, d.Edges[i].Time)
+		}
+		if ids[edges[i].U] != int64(d.Edges[i].U) || ids[edges[i].V] != int64(d.Edges[i].V) {
+			t.Fatalf("event %d endpoints remapped wrongly", i)
+		}
+	}
+}
+
+func TestTemporalReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"two fields":  "1 2\n",
+		"bad u":       "x 2 3\n",
+		"bad v":       "1 x 3\n",
+		"bad t":       "1 2 x\n",
+		"negative id": "-1 2 3\n",
+	}
+	for name, in := range cases {
+		if _, _, _, err := ReadTemporalEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	pairs := []graph.Pair{{Left: 1, Right: 2}, {Left: 30, Right: 40}}
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPairs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != pairs[0] || got[1] != pairs[1] {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestReadPairsErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"one field": "5\n",
+		"bad left":  "x 2\n",
+		"bad right": "1 x\n",
+	} {
+		if _, err := ReadPairs(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

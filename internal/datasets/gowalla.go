@@ -1,0 +1,72 @@
+package datasets
+
+import (
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/sampling"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// GowallaData is the location-based stand-in: a friendship graph plus
+// month-stamped co-check-in events between friends. The paper's two copies
+// keep a friendship edge iff the pair checked in at approximately the same
+// location in an odd (respectively even) month.
+type GowallaData struct {
+	Friends *graph.Graph
+	// CoCheckins holds one event per (edge, month) at which the two friends
+	// were co-located; Time is the month index.
+	CoCheckins []sampling.TemporalEdge
+}
+
+// Gowalla builds the Gowalla stand-in (196,591 users, 950,327 friendship
+// edges — average degree ≈ 9.7). Friendships come from preferential
+// attachment at the published density. Co-check-in behaviour in location
+// data is skewed per USER, not per edge: a minority of heavy users check in
+// constantly and co-occur with most of their friends, while the majority
+// rarely co-occur with anyone. That concentration is what gives the paper's
+// intersection its shape — only 38K of 196K users present, over 32K of them
+// at degree ≤ 5, yet ~6K users with degree > 5 of which the matcher
+// identifies over 4K.
+func Gowalla(r *xrand.Rand, scale float64) *GowallaData {
+	n := scaledNodes(196591, scale)
+	friends := gen.PreferentialAttachment(r, n, 5)
+	d := &GowallaData{Friends: friends}
+	// Per-user activity: ~40% of users are active checkers-in.
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = r.Bool(0.40)
+	}
+	const months = 24
+	friends.Edges(func(e graph.Edge) bool {
+		// Event count by joint activity: two active friends co-occur
+		// repeatedly; an active/passive pair occasionally; two passive
+		// friends almost never.
+		var k int
+		switch {
+		case active[e.U] && active[e.V]:
+			k = 2 + r.Geometric(0.22) // mean ≈ 5.5 events
+		case active[e.U] || active[e.V]:
+			if r.Bool(0.10) {
+				k = 1 + r.Geometric(0.60)
+			}
+		default:
+			if r.Bool(0.01) {
+				k = 1
+			}
+		}
+		for i := 0; i < k; i++ {
+			d.CoCheckins = append(d.CoCheckins, sampling.TemporalEdge{
+				U: e.U, V: e.V, Time: r.IntN(months),
+			})
+		}
+		return true
+	})
+	return d
+}
+
+// Split returns the odd-month and even-month co-check-in graphs of Table 5
+// (top right).
+func (d *GowallaData) Split() (*graph.Graph, *graph.Graph) {
+	odd, even := sampling.TimeSplit(d.Friends.NumNodes(), d.CoCheckins, func(t int) bool { return t%2 == 1 })
+	return odd, even
+}

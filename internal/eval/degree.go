@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// DegreeBucket is one row of a Figure-4 style curve: precision and recall
+// restricted to nodes whose degree (in the first copy) falls in [Lo, Hi].
+type DegreeBucket struct {
+	Lo, Hi    int
+	Total     int // identifiable nodes in the bucket
+	Seeds     int
+	Good, Bad int
+}
+
+// Precision within the bucket (new links only).
+func (b DegreeBucket) Precision() float64 {
+	if b.Good+b.Bad == 0 {
+		return 1
+	}
+	return float64(b.Good) / float64(b.Good+b.Bad)
+}
+
+// Recall within the bucket, seeds included.
+func (b DegreeBucket) Recall() float64 {
+	if b.Total == 0 {
+		return 1
+	}
+	got := b.Good + b.Seeds
+	if got > b.Total {
+		got = b.Total
+	}
+	return float64(got) / float64(b.Total)
+}
+
+// DegreeCurve computes precision/recall per power-of-two degree bucket
+// (1, 2-3, 4-7, 8-15, ...), reproducing the Figure 4 analysis. Degrees are
+// taken in g1; nodes identifiable per Identifiable's criterion populate the
+// buckets' totals.
+func DegreeCurve(g1, g2 *graph.Graph, pairs []graph.Pair, nSeeds int, truth Truth) []DegreeBucket {
+	maxDeg := g1.MaxDegree()
+	nBuckets := 1
+	for lo := 1; lo <= maxDeg; lo *= 2 {
+		nBuckets++
+	}
+	buckets := make([]DegreeBucket, nBuckets)
+	for i := range buckets {
+		if i == 0 {
+			buckets[i] = DegreeBucket{Lo: 0, Hi: 0}
+			continue
+		}
+		lo := 1 << (i - 1)
+		buckets[i] = DegreeBucket{Lo: lo, Hi: 2*lo - 1}
+	}
+	idx := func(d int) int {
+		if d <= 0 {
+			return 0
+		}
+		i := 1
+		for lo := 1; lo*2 <= d; lo *= 2 {
+			i++
+		}
+		return i
+	}
+	for l, r := range truth {
+		if int(l) < g1.NumNodes() && int(r) < g2.NumNodes() &&
+			g1.Degree(l) > 0 && g2.Degree(r) > 0 {
+			buckets[idx(g1.Degree(l))].Total++
+		}
+	}
+	for i, p := range pairs {
+		if int(p.Left) >= g1.NumNodes() {
+			continue
+		}
+		b := &buckets[idx(g1.Degree(p.Left))]
+		if i < nSeeds {
+			b.Seeds++
+			continue
+		}
+		if want, ok := truth[p.Left]; ok && want == p.Right {
+			b.Good++
+		} else {
+			b.Bad++
+		}
+	}
+	return buckets
+}
+
+// FormatDegreeCurve renders the curve as an aligned text table.
+func FormatDegreeCurve(buckets []DegreeBucket) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12s %8s %8s %6s %6s %10s %8s\n", "degree", "nodes", "seeds", "good", "bad", "precision", "recall")
+	for _, b := range buckets {
+		if b.Total == 0 && b.Good+b.Bad+b.Seeds == 0 {
+			continue
+		}
+		rng := fmt.Sprintf("%d-%d", b.Lo, b.Hi)
+		if b.Lo == b.Hi {
+			rng = fmt.Sprintf("%d", b.Lo)
+		}
+		fmt.Fprintf(&sb, "%12s %8d %8d %6d %6d %9.1f%% %7.1f%%\n",
+			rng, b.Total, b.Seeds, b.Good, b.Bad, 100*b.Precision(), 100*b.Recall())
+	}
+	return sb.String()
+}

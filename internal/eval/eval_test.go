@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+func TestEvaluateCounts(t *testing.T) {
+	truth := IdentityTruth(10)
+	pairs := []graph.Pair{
+		{Left: 0, Right: 0}, // seed
+		{Left: 1, Right: 1}, // seed
+		{Left: 2, Right: 2}, // good
+		{Left: 3, Right: 4}, // bad
+		{Left: 5, Right: 5}, // good
+	}
+	c := Evaluate(pairs, 2, truth)
+	if c.Seeds != 2 || c.Good != 2 || c.Bad != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if math.Abs(c.Precision()-2.0/3.0) > 1e-9 {
+		t.Fatalf("precision = %v", c.Precision())
+	}
+	if math.Abs(c.ErrorRate()-1.0/3.0) > 1e-9 {
+		t.Fatalf("error rate = %v", c.ErrorRate())
+	}
+	if !strings.Contains(c.String(), "good=2") {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestEvaluateUnknownLeftIsBad(t *testing.T) {
+	// A match whose left node has no true counterpart (sybil, language-
+	// specific article) counts as bad.
+	truth := Truth{0: 0}
+	pairs := []graph.Pair{{Left: 5, Right: 5}}
+	c := Evaluate(pairs, 0, truth)
+	if c.Bad != 1 || c.Good != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestPrecisionEmpty(t *testing.T) {
+	c := Counts{Seeds: 5}
+	if c.Precision() != 1 || c.ErrorRate() != 0 {
+		t.Fatalf("empty counts precision = %v", c.Precision())
+	}
+}
+
+func TestIdentifiable(t *testing.T) {
+	// g1: edge 0-1; node 2 isolated. g2: edge 0-1, 2 isolated.
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	truth := IdentityTruth(3)
+	if got := Identifiable(g, g, truth); got != 2 {
+		t.Fatalf("identifiable = %d, want 2", got)
+	}
+	// Out-of-range truth entries are skipped.
+	truth[graph.NodeID(9)] = 9
+	if got := Identifiable(g, g, truth); got != 2 {
+		t.Fatalf("identifiable with oob = %d, want 2", got)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	c := Counts{Seeds: 10, Good: 40}
+	if got := Recall(c, 100); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("recall = %v", got)
+	}
+	if got := Recall(c, 0); got != 1 {
+		t.Fatalf("recall with zero identifiable = %v", got)
+	}
+	// Capped at 1 even if seeds exceed the identifiable population.
+	if got := Recall(Counts{Seeds: 200}, 100); got != 1 {
+		t.Fatalf("capped recall = %v", got)
+	}
+}
+
+func TestFromPairs(t *testing.T) {
+	tr := FromPairs([]graph.Pair{{Left: 1, Right: 2}, {Left: 3, Right: 4}})
+	if tr[1] != 2 || tr[3] != 4 || len(tr) != 2 {
+		t.Fatalf("truth = %v", tr)
+	}
+}
+
+func TestDegreeCurve(t *testing.T) {
+	// Star: hub 0 (degree 4), leaves degree 1.
+	g := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	truth := IdentityTruth(5)
+	pairs := []graph.Pair{
+		{Left: 0, Right: 0}, // seed (degree 4)
+		{Left: 1, Right: 1}, // good (degree 1)
+		{Left: 2, Right: 3}, // bad (degree 1)
+	}
+	buckets := DegreeCurve(g, g, pairs, 1, truth)
+	// Bucket for degree 1 is index 1 (lo=1, hi=1).
+	var deg1, deg4 *DegreeBucket
+	for i := range buckets {
+		if buckets[i].Lo == 1 && buckets[i].Hi == 1 {
+			deg1 = &buckets[i]
+		}
+		if buckets[i].Lo == 4 {
+			deg4 = &buckets[i]
+		}
+	}
+	if deg1 == nil || deg4 == nil {
+		t.Fatalf("buckets missing: %+v", buckets)
+	}
+	if deg1.Total != 4 || deg1.Good != 1 || deg1.Bad != 1 {
+		t.Fatalf("deg1 bucket = %+v", deg1)
+	}
+	if deg4.Total != 1 || deg4.Seeds != 1 {
+		t.Fatalf("deg4 bucket = %+v", deg4)
+	}
+	if math.Abs(deg1.Precision()-0.5) > 1e-9 {
+		t.Fatalf("deg1 precision = %v", deg1.Precision())
+	}
+	if math.Abs(deg1.Recall()-0.25) > 1e-9 {
+		t.Fatalf("deg1 recall = %v", deg1.Recall())
+	}
+	if deg4.Recall() != 1 {
+		t.Fatalf("deg4 recall = %v", deg4.Recall())
+	}
+
+	out := FormatDegreeCurve(buckets)
+	if !strings.Contains(out, "degree") || !strings.Contains(out, "4-7") {
+		t.Fatalf("formatted curve:\n%s", out)
+	}
+}
+
+func TestDegreeBucketEmptyDefaults(t *testing.T) {
+	b := DegreeBucket{}
+	if b.Precision() != 1 || b.Recall() != 1 {
+		t.Fatal("empty bucket should default to perfect scores")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:  "Results for Foo",
+		Header: []string{"Pr", "Good", "Bad"},
+	}
+	tb.AddRow("10%", 1234, 5)
+	tb.AddRow("5%", 99, 0.5)
+	out := tb.String()
+	if !strings.Contains(out, "Results for Foo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "Good") || !strings.Contains(out, "1234") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "0.500") {
+		t.Fatalf("float formatting:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowWidthPanic(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row width mismatch did not panic")
+		}
+	}()
+	tb.AddRow(1)
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("x", 1)
+	if !strings.Contains(tb.String(), "x") {
+		t.Fatal("headerless table should render rows")
+	}
+}

@@ -1,0 +1,124 @@
+// Package eval provides the evaluation machinery of Section 5: good/bad
+// match counts against ground truth, precision and recall, the per-degree
+// curves of Figure 4, and text rendering of paper-style result tables.
+package eval
+
+import (
+	"fmt"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// Truth is the ground-truth correspondence from G1 nodes to G2 nodes. Nodes
+// absent from the map have no true counterpart (e.g. language-specific
+// Wikipedia articles, sybil clones); matching them is always an error.
+type Truth map[graph.NodeID]graph.NodeID
+
+// IdentityTruth returns the identity correspondence over n nodes — the
+// ground truth whenever both copies inherit the parent graph's numbering.
+func IdentityTruth(n int) Truth {
+	t := make(Truth, n)
+	for i := 0; i < n; i++ {
+		t[graph.NodeID(i)] = graph.NodeID(i)
+	}
+	return t
+}
+
+// FromPairs builds a Truth from an explicit pair list.
+func FromPairs(ps []graph.Pair) Truth {
+	t := make(Truth, len(ps))
+	for _, p := range ps {
+		t[p.Left] = p.Right
+	}
+	return t
+}
+
+// Counts aggregates a matching evaluation, in the Good/Bad vocabulary of the
+// paper's tables. Only non-seed links are judged (the paper evaluates newly
+// found links; seeds are given).
+type Counts struct {
+	Seeds int // seed links (not judged)
+	Good  int // new links agreeing with the truth
+	Bad   int // new links contradicting it (or matching an unmatchable node)
+}
+
+// Precision returns Good/(Good+Bad); 1 when nothing was judged.
+func (c Counts) Precision() float64 {
+	if c.Good+c.Bad == 0 {
+		return 1
+	}
+	return float64(c.Good) / float64(c.Good+c.Bad)
+}
+
+// ErrorRate returns Bad/(Good+Bad); 0 when nothing was judged.
+func (c Counts) ErrorRate() float64 { return 1 - c.Precision() }
+
+func (c Counts) String() string {
+	return fmt.Sprintf("good=%d bad=%d (precision %.2f%%, %d seeds)", c.Good, c.Bad, 100*c.Precision(), c.Seeds)
+}
+
+// Evaluate judges the links produced by a run: pairs must contain all links
+// with the first nSeeds entries being the seeds (the layout of
+// core.Result.Pairs).
+func Evaluate(pairs []graph.Pair, nSeeds int, truth Truth) Counts {
+	c := Counts{Seeds: nSeeds}
+	for _, p := range pairs[nSeeds:] {
+		if want, ok := truth[p.Left]; ok && want == p.Right {
+			c.Good++
+		} else {
+			c.Bad++
+		}
+	}
+	return c
+}
+
+// Identifiable counts the nodes that structure alone can ever identify: the
+// nodes with degree >= 1 in both copies (footnote 4 of the paper). Recall
+// should be reported against this population, not all of V.
+func Identifiable(g1, g2 *graph.Graph, truth Truth) int {
+	n := 0
+	for l, r := range truth {
+		if int(l) < g1.NumNodes() && int(r) < g2.NumNodes() &&
+			g1.Degree(l) > 0 && g2.Degree(r) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Recall returns (Good + Seeds counted in the identifiable set) over the
+// identifiable population. The paper's figures report the fraction of
+// recoverable nodes found, seeds included.
+func Recall(c Counts, identifiable int) float64 {
+	if identifiable == 0 {
+		return 1
+	}
+	got := c.Good + c.Seeds
+	if got > identifiable {
+		got = identifiable
+	}
+	return float64(got) / float64(identifiable)
+}
+
+// LinkedRecall returns the exact fraction of identifiable nodes (degree >= 1
+// in both copies, per Identifiable) whose true pair appears in pairs — the
+// precise form of the recall the figures report, unaffected by seeds that
+// land on unidentifiable nodes.
+func LinkedRecall(pairs []graph.Pair, truth Truth, g1, g2 *graph.Graph) float64 {
+	ident := Identifiable(g1, g2, truth)
+	if ident == 0 {
+		return 1
+	}
+	got := 0
+	for _, p := range pairs {
+		want, ok := truth[p.Left]
+		if !ok || want != p.Right {
+			continue
+		}
+		if int(p.Left) < g1.NumNodes() && int(p.Right) < g2.NumNodes() &&
+			g1.Degree(p.Left) > 0 && g2.Degree(p.Right) > 0 {
+			got++
+		}
+	}
+	return float64(got) / float64(ident)
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+func TestLinkedRecall(t *testing.T) {
+	// Graph: edge 0-1 in both copies; node 2 isolated in g2 → identifiable
+	// nodes are 0 and 1.
+	g1 := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g2 := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	truth := IdentityTruth(3)
+
+	// Pairs: (0,0) correct-identifiable, (2,2) correct but unidentifiable
+	// (degree 0 in g2), (1,0) wrong — only (0,0) counts.
+	pairs := []graph.Pair{{Left: 0, Right: 0}, {Left: 2, Right: 2}}
+	got := LinkedRecall(pairs, truth, g1, g2)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("recall = %v, want 0.5", got)
+	}
+
+	// Adding node 1's correct pair completes the identifiable set.
+	pairs = append(pairs, graph.Pair{Left: 1, Right: 1})
+	if got := LinkedRecall(pairs, truth, g1, g2); got != 1 {
+		t.Fatalf("recall = %v, want 1", got)
+	}
+
+	// Wrong pairs contribute nothing.
+	wrong := []graph.Pair{{Left: 0, Right: 1}}
+	if got := LinkedRecall(wrong, truth, g1, g2); got != 0 {
+		t.Fatalf("recall of wrong pair = %v, want 0", got)
+	}
+}
+
+func TestLinkedRecallEmptyIdentifiable(t *testing.T) {
+	g := graph.FromEdges(2, nil) // all isolated
+	if got := LinkedRecall(nil, IdentityTruth(2), g, g); got != 1 {
+		t.Fatalf("recall with nothing identifiable = %v, want 1", got)
+	}
+}
+
+func TestLinkedRecallOutOfRangePairs(t *testing.T) {
+	// Pairs referencing nodes outside either graph are ignored gracefully.
+	g1 := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	g2 := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	truth := Truth{0: 0, 1: 1, 9: 9}
+	pairs := []graph.Pair{{Left: 9, Right: 9}, {Left: 0, Right: 0}}
+	got := LinkedRecall(pairs, truth, g1, g2)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("recall = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders paper-style experiment tables as aligned text: a header row
+// and any number of data rows. Cells are stringified with %v.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]any
+}
+
+// AddRow appends a data row; it must match the header width.
+func (t *Table) AddRow(cells ...any) {
+	if len(t.Header) != 0 && len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("eval: row width %d != header width %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	cell := func(v any) string {
+		switch x := v.(type) {
+		case float64:
+			return fmt.Sprintf("%.3f", x)
+		default:
+			return fmt.Sprint(v)
+		}
+	}
+	for i, h := range t.Header {
+		if len(h) > widths[i] {
+			widths[i] = len(h)
+		}
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if s := cell(v); len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		sb.WriteString(strings.Repeat("-", total-2))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = cell(v)
+		}
+		writeRow(cells)
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"github.com/sociograph/reconcile/internal/baseline"
+	"github.com/sociograph/reconcile/internal/datasets"
+	"github.com/sociograph/reconcile/internal/eval"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/sampling"
+)
+
+// AttackCounts scores a matching over an attacked instance. Real nodes keep
+// their IDs; clone IDs are offset by the real node count. A clone aligned to
+// its counterpart clone in the other network is the matcher identifying the
+// attacker's two fake accounts with each other — harmless, and tracked
+// separately rather than as an error; every other non-true match (real to
+// wrong real, clone to real, clone to wrong clone) is Bad. Clone-to-real is
+// the dangerous impersonation outcome the attack aims for.
+type AttackCounts struct {
+	Seeds        int
+	Good         int // real node matched to its true copy
+	Bad          int
+	CloneAligned int // clone(v) in G1 matched to clone(v) in G2
+}
+
+// Precision is Good/(Good+Bad).
+func (c AttackCounts) Precision() float64 {
+	if c.Good+c.Bad == 0 {
+		return 1
+	}
+	return float64(c.Good) / float64(c.Good+c.Bad)
+}
+
+func evaluateAttack(pairs []graph.Pair, nSeeds, nReal int) AttackCounts {
+	c := AttackCounts{Seeds: nSeeds}
+	for _, p := range pairs[nSeeds:] {
+		switch {
+		case int(p.Left) < nReal && p.Left == p.Right:
+			c.Good++
+		case int(p.Left) >= nReal && p.Left == p.Right:
+			c.CloneAligned++
+		default:
+			c.Bad++
+		}
+	}
+	return c
+}
+
+// AttackData reproduces the "robustness to attack" experiment: Facebook
+// copies at s = 0.75, then every node in each copy gets a malicious clone
+// that is accepted by each real neighbor with probability 0.5 — an attacker
+// who locally mimics every user. Seeds 10%, threshold 2.
+//
+// Paper: User-Matching still aligns 46,955 of 63,731 possible nodes with
+// only 114 errors, while the plain common-neighbor baseline finds fewer
+// than half as many matches (22,346).
+type AttackData struct {
+	Possible int // real nodes (clones excluded)
+	Core     AttackCounts
+	Baseline AttackCounts
+}
+
+// AttackRun runs both matchers on the attacked copies.
+func AttackRun(cfg Config) (*AttackData, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.rng(0xA77)
+	g := datasets.Facebook(r, cfg.Scale)
+	n := g.NumNodes()
+	g1, g2 := sampling.IndependentCopies(r, g, 0.75, 0.75)
+	g1 = sampling.SybilAttack(r, g1, 0.5)
+	g2 = sampling.SybilAttack(r, g2, 0.5)
+	seeds := sampling.Seeds(r.Split(), graph.IdentityPairs(n), 0.10)
+
+	out := &AttackData{Possible: n}
+	res, err := reconcile(g1, g2, seeds, 2, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Core = evaluateAttack(res.Pairs, res.Seeds, n)
+
+	basePairs, err := baseline.CommonNeighbors(g1, g2, seeds, baseline.CommonNeighborsOptions{
+		Threshold: 2, Iterations: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Baseline = evaluateAttack(basePairs, len(seeds), n)
+	return out, nil
+}
+
+// Attack renders the experiment.
+func Attack(cfg Config) (*Report, error) {
+	data, err := AttackRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: "Attack: Facebook s=0.75 + sybil clones (accept prob 0.5), 10% seeds, T=2"}
+	t := &eval.Table{Header: []string{"algorithm", "seeds", "good", "bad", "clone-aligned", "possible"}}
+	t.AddRow("User-Matching", data.Core.Seeds, data.Core.Good, data.Core.Bad, data.Core.CloneAligned, data.Possible)
+	t.AddRow("common-neighbors", data.Baseline.Seeds, data.Baseline.Good, data.Baseline.Bad, data.Baseline.CloneAligned, data.Possible)
+	rep.Tables = append(rep.Tables, t)
+	rep.notef("paper: User-Matching 46955 correct / 114 wrong of 63731 possible; the simple baseline reconstructs under half as many (22346)")
+	rep.notef("clone-aligned pairs link the attacker's two fake accounts for the same victim to each other; no real user is misidentified")
+	return rep, nil
+}

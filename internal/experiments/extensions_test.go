@@ -1,0 +1,101 @@
+package experiments
+
+import "testing"
+
+func TestNoiseDegradesGracefully(t *testing.T) {
+	rows, err := NoiseData(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Baseline (no noise) should be near-perfect; heavy noise should still
+	// keep precision reasonable (graceful degradation, not collapse).
+	if rows[0].Counts.Precision() < 0.95 {
+		t.Errorf("baseline precision %.3f", rows[0].Counts.Precision())
+	}
+	for _, row := range rows {
+		if row.Counts.Precision() < 0.80 {
+			t.Errorf("noise=%v vdel=%v: precision collapsed to %.3f",
+				row.NoiseFraction, row.VertexDeletion, row.Counts.Precision())
+		}
+		if row.Counts.Good == 0 {
+			t.Errorf("noise=%v vdel=%v: no matches", row.NoiseFraction, row.VertexDeletion)
+		}
+	}
+	// Recall at 30% noise should not exceed the clean recall.
+	if rows[3].Recall > rows[0].Recall+0.02 {
+		t.Errorf("recall rose under noise: %.3f vs %.3f", rows[3].Recall, rows[0].Recall)
+	}
+}
+
+func TestSeedNoiseLinearNotCascading(t *testing.T) {
+	rows, err := SeedNoiseData(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].FlipFraction != 0 {
+		t.Fatal("first row must be the clean baseline")
+	}
+	base := rows[0].Counts
+	if base.Precision() < 0.95 {
+		t.Errorf("clean baseline precision %.3f", base.Precision())
+	}
+	for _, row := range rows[1:] {
+		// Errors grow with seed corruption but must not cascade into the
+		// majority of matches at 20% flips.
+		if row.Counts.ErrorRate() > 0.5 {
+			t.Errorf("flip=%v: error rate %.3f (cascade)", row.FlipFraction, row.Counts.ErrorRate())
+		}
+	}
+	if rows[len(rows)-1].Counts.Bad < rows[0].Counts.Bad {
+		t.Error("heavy seed corruption should not reduce errors")
+	}
+}
+
+func TestScoringAblation(t *testing.T) {
+	rows, err := ScoringAblationData(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All variants stay precise on this instance.
+	for _, row := range rows {
+		if row.Counts.Precision() < 0.95 {
+			t.Errorf("%v margin=%d: precision %.3f", row.Scoring, row.Margin, row.Counts.Precision())
+		}
+	}
+	// Margins monotonically reduce matches (recall/precision trade).
+	if rows[3].Counts.Good > rows[2].Counts.Good {
+		t.Errorf("margin 2 good (%d) exceeds margin 1 good (%d)", rows[3].Counts.Good, rows[2].Counts.Good)
+	}
+	if rows[2].Counts.Good > rows[0].Counts.Good {
+		t.Errorf("margin 1 good (%d) exceeds margin 0 good (%d)", rows[2].Counts.Good, rows[0].Counts.Good)
+	}
+}
+
+func TestActiveAttackUnlocksNetwork(t *testing.T) {
+	rows, err := ActiveAttackData(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More plants unlock more of the network, and the largest budget must
+	// identify a substantial fraction with high precision.
+	if rows[len(rows)-1].Counts.Good < rows[0].Counts.Good {
+		t.Errorf("more plants found fewer matches: %d vs %d",
+			rows[len(rows)-1].Counts.Good, rows[0].Counts.Good)
+	}
+	last := rows[len(rows)-1]
+	if last.Recall < 0.3 {
+		t.Errorf("40 plants unlocked only %.1f%% of the population", 100*last.Recall)
+	}
+	if last.Counts.Precision() < 0.90 {
+		t.Errorf("active-attack precision %.3f", last.Counts.Precision())
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPercent(t *testing.T) {
+	cases := map[float64]string{
+		0.01: "1%",
+		0.05: "5%",
+		0.10: "10%",
+		0.20: "20%",
+		1.0:  "100%",
+	}
+	for in, want := range cases {
+		if got := percent(in); got != want {
+			t.Errorf("percent(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestItoaAndRMATName(t *testing.T) {
+	for in, want := range map[int]string{0: "0", 7: "7", 24: "24", 121: "121"} {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if got := rmatName(24); got != "RMAT24" {
+		t.Errorf("rmatName = %q", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{Name: "Demo"}
+	rep.notef("value is %d", 42)
+	out := rep.String()
+	if !strings.Contains(out, "== Demo ==") || !strings.Contains(out, "note: value is 42") {
+		t.Fatalf("report rendering:\n%s", out)
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	cfg := Config{Scale: 0.001, RMATBase: 10}
+	if got := scaled(cfg, 1000, 500); got != 500 {
+		t.Errorf("scaled floor = %d, want 500", got)
+	}
+	cfg.Scale = 0.5
+	if got := scaled(cfg, 1000, 100); got != 500 {
+		t.Errorf("scaled = %d, want 500", got)
+	}
+}
+
+func TestWikiScaleFloor(t *testing.T) {
+	cfg := Config{Scale: 0.002, RMATBase: 10}
+	if got := wikiScale(cfg); got != 0.001 {
+		t.Errorf("wikiScale floor = %v, want 0.001", got)
+	}
+	cfg.Scale = 0.5
+	if got := wikiScale(cfg); got != 0.05 {
+		t.Errorf("wikiScale = %v, want 0.05", got)
+	}
+}
+
+func TestConfigRngDeterministic(t *testing.T) {
+	cfg := Config{Scale: 0.1, Seed: 9, RMATBase: 10}
+	a := cfg.rng(1).Uint64()
+	b := cfg.rng(1).Uint64()
+	c := cfg.rng(2).Uint64()
+	if a != b {
+		t.Error("same salt must give the same stream")
+	}
+	if a == c {
+		t.Error("different salts should differ")
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"github.com/sociograph/reconcile/internal/datasets"
+	"github.com/sociograph/reconcile/internal/eval"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/sampling"
+)
+
+// Table4Data reproduces the correlated-deletion experiment: an Affiliation
+// Networks graph whose copies drop whole interests (communities) with
+// probability 0.25 each, seed probability 10%, thresholds 4/3/2. The same
+// user can have completely different neighborhoods in the two copies.
+// Paper: 54770/0, 55863/0, 55942/0 — perfect precision, near-total recall.
+func Table4Data(cfg Config) ([]GoodBadRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.rng(0x7B4)
+	an := datasets.AffiliationStandIn(r, cfg.Scale)
+	g1, g2 := sampling.CommunityCopies(r, an, 0.25, 150)
+	n := an.Users
+	return goodBadSweep(cfg, g1, g2, eval.IdentityTruth(n), graph.IdentityPairs(n),
+		[]float64{0.10}, []int{4, 3, 2}, 0x7B41)
+}
+
+// Table4 renders the experiment.
+func Table4(cfg Config) (*Report, error) {
+	rows, err := Table4Data(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: "Table 4: Affiliation Networks under correlated interest deletion (drop prob 0.25)"}
+	rep.Tables = append(rep.Tables, goodBadTable("", rows))
+	rep.notef("paper: T4 54770/0 · T3 55863/0 · T2 55942/0 (zero errors)")
+	return rep, nil
+}

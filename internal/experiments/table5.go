@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"github.com/sociograph/reconcile/internal/datasets"
+	"github.com/sociograph/reconcile/internal/eval"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/sampling"
+)
+
+// Table 5 covers the real-world scenarios where the two graphs are not
+// random copies of a common parent: DBLP split by even/odd publication
+// years, Gowalla split by odd/even check-in months, and the French/German
+// Wikipedia pair.
+
+// Table5DBLPData reproduces Table 5 (top left). Paper, at 10% seeds:
+// T5 42797/58 · T4 53026/641 · T2 68641/2985 (error < 4.2%), identifying
+// over half the nodes of degree ≥ 11.
+func Table5DBLPData(cfg Config) ([]GoodBadRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.rng(0xDB)
+	d := datasets.DBLP(r, cfg.Scale)
+	g1, g2 := d.Split()
+	return goodBadSweep(cfg, g1, g2, eval.IdentityTruth(d.Nodes), graph.IdentityPairs(d.Nodes),
+		[]float64{0.10}, []int{5, 4, 2}, 0xDB1)
+}
+
+// Table5DBLP renders the DBLP experiment.
+func Table5DBLP(cfg Config) (*Report, error) {
+	rows, err := Table5DBLPData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: "Table 5 (top left): DBLP, even vs odd publication years"}
+	rep.Tables = append(rep.Tables, goodBadTable("", rows))
+	rep.notef("paper: T5 42797/58 · T4 53026/641 · T2 68641/2985")
+	return rep, nil
+}
+
+// Table5GowallaData reproduces Table 5 (top right). Paper, at 10% seeds:
+// T5 5520/29 · T4 5917/48 · T2 7931/155 — over 4000 of the ~6000
+// intersection nodes above degree 5 identified at 3.75% error.
+func Table5GowallaData(cfg Config) ([]GoodBadRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.rng(0x90A)
+	d := datasets.Gowalla(r, cfg.Scale)
+	g1, g2 := d.Split()
+	n := d.Friends.NumNodes()
+	return goodBadSweep(cfg, g1, g2, eval.IdentityTruth(n), graph.IdentityPairs(n),
+		[]float64{0.10}, []int{5, 4, 2}, 0x90A1)
+}
+
+// Table5Gowalla renders the Gowalla experiment.
+func Table5Gowalla(cfg Config) (*Report, error) {
+	rows, err := Table5GowallaData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: "Table 5 (top right): Gowalla, odd vs even check-in months"}
+	rep.Tables = append(rep.Tables, goodBadTable("", rows))
+	rep.notef("paper: T5 5520/29 · T4 5917/48 · T2 7931/155")
+	return rep, nil
+}
+
+// Table5WikipediaData reproduces Table 5 (bottom): French vs German
+// Wikipedia, seeded with 10% of the curated inter-language links. The
+// graphs share no generative parent; ground truth is the concept
+// correspondence. Paper: T5 108343/9441 · T3 122740/14373 — the matcher
+// nearly triples the known links at a 17.5% error rate on new links.
+func Table5WikipediaData(cfg Config) ([]GoodBadRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := cfg.rng(0x317)
+	d := datasets.Wikipedia(r, wikiScale(cfg))
+	truth := eval.FromPairs(d.Truth)
+	var rows []GoodBadRow
+	seeds := sampling.Seeds(r.Split(), d.InterLang, 0.10)
+	for _, T := range []int{5, 3} {
+		res, err := reconcile(d.FR, d.DE, seeds, T, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, GoodBadRow{
+			SeedProb:  0.10,
+			Threshold: T,
+			Counts:    eval.Evaluate(res.Pairs, res.Seeds, truth),
+		})
+	}
+	return rows, nil
+}
+
+// wikiScale shrinks the Wikipedia stand-in relative to the other datasets:
+// the paper's FR graph is 4.36M nodes, ~70× Facebook, so running it at the
+// same scale fraction would dominate the suite's runtime.
+func wikiScale(cfg Config) float64 {
+	s := cfg.Scale / 10
+	if s < 0.001 {
+		s = 0.001
+	}
+	return s
+}
+
+// Table5Wikipedia renders the Wikipedia experiment.
+func Table5Wikipedia(cfg Config) (*Report, error) {
+	rows, err := Table5WikipediaData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: "Table 5 (bottom): French vs German Wikipedia (seeds = 10% of inter-language links)"}
+	rep.Tables = append(rep.Tables, goodBadTable("", rows))
+	rep.notef("paper: T5 108343/9441 · T3 122740/14373 (17.5%% error on new links; graphs share no common parent)")
+	return rep, nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTheoryCheck(t *testing.T) {
+	rows, err := TheoryCheckData(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]TheoryRow{}
+	for _, r := range rows {
+		byName[r.Quantity] = r
+	}
+	// Measured witness means must track the closed-form expectations.
+	tw := rows[0]
+	if math.Abs(tw.Measured-tw.Predicted) > 0.2*tw.Predicted {
+		t.Errorf("true witnesses: predicted %.1f, measured %.1f", tw.Predicted, tw.Measured)
+	}
+	fw := rows[1]
+	if fw.Measured > 0.5*tw.Measured {
+		t.Errorf("false witnesses %.2f not separated from true %.2f", fw.Measured, tw.Measured)
+	}
+	// Theorem 1 + Lemma 3 regime: no wrong matches, near-total recall.
+	if rows[2].Measured != 0 {
+		t.Errorf("wrong matches = %v, theory predicts 0", rows[2].Measured)
+	}
+	if rows[3].Measured < 0.9 {
+		t.Errorf("identified fraction = %.3f, theory predicts 1-o(1)", rows[3].Measured)
+	}
+}

@@ -1,0 +1,164 @@
+package gen
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// The Affiliation Networks model (Lattanzi & Sivakumar, STOC 2009) builds a
+// bipartite graph of users and interests by an evolving copying process; the
+// social graph is its folded one-mode projection (users are connected iff
+// they share an interest). The paper uses it for the correlated-deletion
+// experiment (Table 4): an entire interest — and hence the community clique
+// it induces — survives or dies together in each copy.
+
+// AffiliationParams configures the generator.
+type AffiliationParams struct {
+	// Users is the number of user nodes in the folded graph.
+	Users int
+	// MeanMemberships is the average number of interests per user
+	// (memberships are 1 + Geometric, so the minimum is one).
+	MeanMemberships float64
+	// NewInterestProb is the probability that a membership creates a fresh
+	// interest instead of joining an existing one preferentially by size.
+	NewInterestProb float64
+	// MaxCommunity caps community size: a user joining a full community is
+	// connected to MaxCommunity random members instead of all (keeps the
+	// folded graph's density bounded, as the published model's parameters do).
+	MaxCommunity int
+}
+
+// DefaultAffiliation mirrors the shape of the paper's AN dataset (60k users,
+// very dense folded graph — 8.07M edges, avg degree ≈ 270 — built from
+// overlapping communities) at an arbitrary user count.
+func DefaultAffiliation(users int) AffiliationParams {
+	return AffiliationParams{
+		Users:           users,
+		MeanMemberships: 4,
+		NewInterestProb: 0.08,
+		MaxCommunity:    150,
+	}
+}
+
+// AffiliationNetwork is the generated bipartite structure. Communities[i]
+// lists the members of interest i. The folded social graph is produced by
+// Fold (all interests) or FoldKeeping (a surviving subset — the correlated
+// deletion model of Table 4).
+type AffiliationNetwork struct {
+	Users       int
+	Communities [][]graph.NodeID
+	// SparseSeed drives the sparsification of over-large communities.
+	// Folding is deterministic given the network: a community contributes
+	// the same edge set to every fold that keeps it. This matters for the
+	// correlated-deletion experiment — the two copies must agree on a
+	// community's internal edges, exactly as the paper's model keeps or
+	// deletes "all the edges inside the community".
+	SparseSeed uint64
+}
+
+// Affiliation generates an affiliation network by preferential community
+// joining: each membership either creates a new interest (probability
+// NewInterestProb) or joins an existing interest chosen proportional to its
+// current size — the rich-get-richer dynamic of the published model, which
+// yields power-law community sizes.
+func Affiliation(r *xrand.Rand, p AffiliationParams) *AffiliationNetwork {
+	if p.Users < 0 {
+		panic("gen: Affiliation requires Users >= 0")
+	}
+	if p.MeanMemberships < 2 {
+		panic("gen: Affiliation requires MeanMemberships >= 2")
+	}
+	if p.NewInterestProb <= 0 || p.NewInterestProb > 1 {
+		panic("gen: Affiliation requires NewInterestProb in (0,1]")
+	}
+	if p.MaxCommunity < 2 {
+		panic("gen: Affiliation requires MaxCommunity >= 2")
+	}
+	an := &AffiliationNetwork{Users: p.Users, SparseSeed: r.Uint64()}
+	// membershipSlots holds one entry per (user, interest) membership so a
+	// uniform draw is size-proportional interest selection.
+	var membershipSlots []int
+	// Every user affiliates with at least two interests (as in the published
+	// model, where users accumulate multiple affiliations); the geometric
+	// tail supplies the remainder of the mean.
+	pJoinMore := 1 - 1/(p.MeanMemberships-1)
+	if p.MeanMemberships <= 2 {
+		pJoinMore = 0
+	}
+	for u := 0; u < p.Users; u++ {
+		k := 2
+		if pJoinMore > 0 {
+			k += r.Geometric(1 - pJoinMore)
+		}
+		joined := map[int]bool{}
+		for j := 0; j < k; j++ {
+			var interest int
+			if len(an.Communities) == 0 || r.Bool(p.NewInterestProb) {
+				interest = len(an.Communities)
+				an.Communities = append(an.Communities, nil)
+			} else {
+				interest = membershipSlots[r.IntN(len(membershipSlots))]
+			}
+			if joined[interest] {
+				continue
+			}
+			joined[interest] = true
+			an.Communities[interest] = append(an.Communities[interest], graph.NodeID(u))
+			membershipSlots = append(membershipSlots, interest)
+		}
+	}
+	return an
+}
+
+// Fold returns the one-mode projection using every community.
+func (an *AffiliationNetwork) Fold(maxCommunity int) *graph.Graph {
+	keep := make([]bool, len(an.Communities))
+	for i := range keep {
+		keep[i] = true
+	}
+	return an.FoldKeeping(keep, maxCommunity)
+}
+
+// FoldKeeping returns the one-mode projection using only communities i with
+// keep[i] == true. Within a community of size <= maxCommunity a full clique
+// is added; larger communities are sparsified by giving each member
+// maxCommunity in-community neighbors drawn from a per-community
+// deterministic stream, so every fold that keeps a community contributes
+// the identical edge set.
+func (an *AffiliationNetwork) FoldKeeping(keep []bool, maxCommunity int) *graph.Graph {
+	if len(keep) != len(an.Communities) {
+		panic("gen: FoldKeeping mask length mismatch")
+	}
+	if maxCommunity < 2 {
+		panic("gen: FoldKeeping requires maxCommunity >= 2")
+	}
+	b := graph.NewBuilder(an.Users, 0)
+	for ci, members := range an.Communities {
+		if !keep[ci] || len(members) < 2 {
+			continue
+		}
+		if len(members) <= maxCommunity {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					b.AddEdge(members[i], members[j])
+				}
+			}
+			continue
+		}
+		// Sparsify deterministically per community.
+		cr := xrand.New(an.SparseSeed + uint64(ci)*0x9e3779b97f4a7c15)
+		for i, u := range members {
+			for t := 0; t < maxCommunity; t++ {
+				j := cr.IntN(len(members) - 1)
+				if j >= i {
+					j++
+				}
+				b.AddEdge(u, members[j])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NumCommunities returns the number of interests generated.
+func (an *AffiliationNetwork) NumCommunities() int { return len(an.Communities) }

@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestAffiliationBasic(t *testing.T) {
+	an := Affiliation(xrand.New(1), DefaultAffiliation(2000))
+	if an.Users != 2000 {
+		t.Fatalf("users = %d", an.Users)
+	}
+	if an.NumCommunities() == 0 {
+		t.Fatal("no communities generated")
+	}
+	total := 0
+	for _, c := range an.Communities {
+		for _, u := range c {
+			if int(u) >= an.Users {
+				t.Fatalf("member %d out of range", u)
+			}
+		}
+		total += len(c)
+	}
+	if total < an.Users {
+		t.Fatalf("only %d memberships for %d users (every user joins >= 1)", total, an.Users)
+	}
+}
+
+func TestAffiliationCommunitySkew(t *testing.T) {
+	// Preferential joining must produce a heavy-tailed community size
+	// distribution: the largest community should dwarf the median.
+	an := Affiliation(xrand.New(2), DefaultAffiliation(20000))
+	maxSize, sum := 0, 0
+	for _, c := range an.Communities {
+		if len(c) > maxSize {
+			maxSize = len(c)
+		}
+		sum += len(c)
+	}
+	avg := float64(sum) / float64(len(an.Communities))
+	if float64(maxSize) < 10*avg {
+		t.Fatalf("max community %d vs avg %.1f: not skewed", maxSize, avg)
+	}
+}
+
+func TestFoldProducesCommunityCliques(t *testing.T) {
+	an := &AffiliationNetwork{
+		Users: 6,
+		Communities: [][]graph.NodeID{
+			{0, 1, 2},
+			{3, 4},
+			{5},
+		},
+	}
+	g := an.Fold(100)
+	if g.NumEdges() != 4 { // triangle (3) + pair (1)
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	for _, e := range [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 2}, {3, 4}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v missing", e)
+		}
+	}
+	if g.Degree(5) != 0 {
+		t.Fatal("singleton community should add no edges")
+	}
+}
+
+func TestFoldKeepingSubset(t *testing.T) {
+	an := Affiliation(xrand.New(3), DefaultAffiliation(500))
+	full := an.Fold(150)
+	keep := make([]bool, an.NumCommunities())
+	for i := range keep {
+		keep[i] = i%2 == 0
+	}
+	half := an.FoldKeeping(keep, 150)
+	if half.NumEdges() > full.NumEdges() {
+		t.Fatalf("partial fold has more edges (%d) than full (%d)", half.NumEdges(), full.NumEdges())
+	}
+	// Every edge of the partial fold must exist in the full fold.
+	half.Edges(func(e graph.Edge) bool {
+		if !full.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v in partial fold but not full", e)
+		}
+		return true
+	})
+}
+
+func TestFoldSparsifiesLargeCommunities(t *testing.T) {
+	members := make([]graph.NodeID, 500)
+	for i := range members {
+		members[i] = graph.NodeID(i)
+	}
+	an := &AffiliationNetwork{Users: 500, Communities: [][]graph.NodeID{members}}
+	g := an.Fold(20)
+	// Full clique would be 124750 edges; sparsified: at most 500*20.
+	if g.NumEdges() > 500*20 {
+		t.Fatalf("edges = %d; sparsification cap not applied", g.NumEdges())
+	}
+	if g.NumEdges() < 500*10 {
+		t.Fatalf("edges = %d; too sparse", g.NumEdges())
+	}
+}
+
+func TestAffiliationPanics(t *testing.T) {
+	r := xrand.New(1)
+	bad := []AffiliationParams{
+		{Users: -1, MeanMemberships: 2, NewInterestProb: 0.1, MaxCommunity: 10},
+		{Users: 10, MeanMemberships: 0.5, NewInterestProb: 0.1, MaxCommunity: 10},
+		{Users: 10, MeanMemberships: 2, NewInterestProb: 0, MaxCommunity: 10},
+		{Users: 10, MeanMemberships: 2, NewInterestProb: 0.1, MaxCommunity: 1},
+	}
+	for _, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Affiliation(%+v) did not panic", p)
+				}
+			}()
+			Affiliation(r, p)
+		}()
+	}
+
+	an := Affiliation(r, DefaultAffiliation(10))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("FoldKeeping with bad mask did not panic")
+			}
+		}()
+		an.FoldKeeping(make([]bool, an.NumCommunities()+1), 10)
+	}()
+}

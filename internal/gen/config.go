@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// ConfigurationModel builds a graph with (approximately) the given degree
+// sequence by uniform stub matching. Self-loops and multi-edges produced by
+// the matching are discarded (the "erased configuration model"), so realized
+// degrees can fall slightly below the prescribed ones — the standard
+// behaviour, negligible for the sparse power-law sequences we use to build
+// dataset stand-ins.
+func ConfigurationModel(r *xrand.Rand, degrees []int) *graph.Graph {
+	n := len(degrees)
+	var total int64
+	for i, d := range degrees {
+		if d < 0 {
+			panic("gen: ConfigurationModel negative degree")
+		}
+		_ = i
+		total += int64(d)
+	}
+	if total%2 != 0 {
+		panic("gen: ConfigurationModel degree sum must be even")
+	}
+	stubs := make([]graph.NodeID, 0, total)
+	for v, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, graph.NodeID(v))
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := graph.NewBuilder(n, total/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		b.AddEdge(stubs[i], stubs[i+1])
+	}
+	return b.Build()
+}
+
+// TriadicClosure adds clustering to g: for rounds passes, every node picks
+// two random distinct neighbors and closes the triangle with probability p.
+// Used to push configuration-model stand-ins toward the clustering levels of
+// real social graphs (the matcher's similarity witnesses live on triangles
+// across copies, so stand-ins must not be locally tree-like).
+func TriadicClosure(r *xrand.Rand, g *graph.Graph, rounds int, p float64) *graph.Graph {
+	if rounds < 0 {
+		panic("gen: TriadicClosure negative rounds")
+	}
+	n := g.NumNodes()
+	b := graph.NewBuilder(n, g.NumEdges()*int64(rounds+1))
+	g.Edges(func(e graph.Edge) bool { b.AddEdge(e.U, e.V); return true })
+	for round := 0; round < rounds; round++ {
+		for v := 0; v < n; v++ {
+			ns := g.Neighbors(graph.NodeID(v))
+			if len(ns) < 2 {
+				continue
+			}
+			if !r.Bool(p) {
+				continue
+			}
+			i := r.IntN(len(ns))
+			j := r.IntN(len(ns) - 1)
+			if j >= i {
+				j++
+			}
+			b.AddEdge(ns[i], ns[j])
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz builds a small-world graph: a ring lattice where every node
+// connects to its k nearest neighbors on each side, with each edge rewired to
+// a random endpoint with probability beta. Included as an additional
+// underlying-network model for robustness experiments (the paper asks whether
+// results depend on the PA model specifically).
+func WattsStrogatz(r *xrand.Rand, n, k int, beta float64) *graph.Graph {
+	if n < 0 || k < 1 {
+		panic("gen: WattsStrogatz requires n >= 0, k >= 1")
+	}
+	if beta < 0 || beta > 1 {
+		panic("gen: WattsStrogatz beta outside [0,1]")
+	}
+	if n > 0 && 2*k >= n {
+		panic("gen: WattsStrogatz requires 2k < n")
+	}
+	b := graph.NewBuilder(n, int64(n)*int64(k))
+	for u := 0; u < n; u++ {
+		for d := 1; d <= k; d++ {
+			v := (u + d) % n
+			if r.Bool(beta) {
+				// Rewire to a uniform random non-self target.
+				w := r.IntN(n - 1)
+				if w >= u {
+					w++
+				}
+				v = w
+			}
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return b.Build()
+}

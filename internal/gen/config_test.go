@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestConfigurationModelDegrees(t *testing.T) {
+	r := xrand.New(1)
+	degrees := r.PowerLawDegrees(3000, 2, 100, 2.5)
+	g := ConfigurationModel(r, degrees)
+	if g.NumNodes() != 3000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Erased configuration model: realized degree <= prescribed, and the
+	// total loss to collisions must be small for sparse sequences.
+	var prescribed, realized int64
+	for v, d := range degrees {
+		got := g.Degree(graph.NodeID(v))
+		if got > d {
+			t.Fatalf("node %d realized degree %d > prescribed %d", v, got, d)
+		}
+		prescribed += int64(d)
+		realized += int64(got)
+	}
+	if realized < prescribed*9/10 {
+		t.Fatalf("realized stub total %d, prescribed %d: too much erased", realized, prescribed)
+	}
+}
+
+func TestConfigurationModelOddSumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd degree sum did not panic")
+		}
+	}()
+	ConfigurationModel(xrand.New(1), []int{1, 1, 1})
+}
+
+func TestConfigurationModelNegativeDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative degree did not panic")
+		}
+	}()
+	ConfigurationModel(xrand.New(1), []int{2, -1, 1})
+}
+
+func TestConfigurationModelEmpty(t *testing.T) {
+	g := ConfigurationModel(xrand.New(1), nil)
+	if g.NumNodes() != 0 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	g = ConfigurationModel(xrand.New(1), []int{0, 0})
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("zero-degree graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestTriadicClosure(t *testing.T) {
+	r := xrand.New(2)
+	base := ErdosRenyi(r, 500, 0.01)
+	closed := TriadicClosure(r, base, 2, 0.5)
+	if closed.NumEdges() < base.NumEdges() {
+		t.Fatalf("closure lost edges: %d < %d", closed.NumEdges(), base.NumEdges())
+	}
+	base.Edges(func(e graph.Edge) bool {
+		if !closed.HasEdge(e.U, e.V) {
+			t.Fatalf("original edge %v missing after closure", e)
+		}
+		return true
+	})
+	if err := closed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero rounds is the identity.
+	same := TriadicClosure(r, base, 0, 0.5)
+	if same.NumEdges() != base.NumEdges() {
+		t.Fatalf("0 rounds changed the graph: %d vs %d", same.NumEdges(), base.NumEdges())
+	}
+}
+
+func TestTriadicClosurePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rounds did not panic")
+		}
+	}()
+	TriadicClosure(xrand.New(1), ErdosRenyi(xrand.New(1), 10, 0.2), -1, 0.5)
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: pure ring lattice, every node has degree exactly 2k.
+	g := WattsStrogatz(xrand.New(1), 100, 3, 0)
+	for v := 0; v < 100; v++ {
+		if d := g.Degree(graph.NodeID(v)); d != 6 {
+			t.Fatalf("node %d degree %d, want 6", v, d)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWattsStrogatzRewired(t *testing.T) {
+	g := WattsStrogatz(xrand.New(2), 500, 4, 0.3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// Rewiring deduplicates occasionally; average degree stays near 2k.
+	if s.AvgDegree < 6.5 || s.AvgDegree > 8.01 {
+		t.Fatalf("avg degree = %v, want ≈ 8", s.AvgDegree)
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { WattsStrogatz(xrand.New(1), -1, 2, 0) },
+		func() { WattsStrogatz(xrand.New(1), 10, 0, 0) },
+		func() { WattsStrogatz(xrand.New(1), 10, 5, 0) }, // 2k >= n
+		func() { WattsStrogatz(xrand.New(1), 10, 2, -0.1) },
+		func() { WattsStrogatz(xrand.New(1), 10, 2, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

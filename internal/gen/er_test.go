@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestPairFromIndexExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10} {
+		idx := int64(0)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				gu, gv := pairFromIndex(idx, n)
+				if int(gu) != u || int(gv) != v {
+					t.Fatalf("n=%d idx=%d: got (%d,%d), want (%d,%d)", n, idx, gu, gv, u, v)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	r := xrand.New(1)
+	n, p := 2000, 0.01
+	g := ErdosRenyi(r, n, p)
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	want := p * float64(n) * float64(n-1) / 2
+	got := float64(g.NumEdges())
+	sd := math.Sqrt(want * (1 - p))
+	if math.Abs(got-want) > 6*sd {
+		t.Fatalf("edges = %v, want %v ± %v", got, want, 6*sd)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	r := xrand.New(2)
+	if g := ErdosRenyi(r, 50, 0); g.NumEdges() != 0 {
+		t.Fatalf("p=0 edges = %d", g.NumEdges())
+	}
+	if g := ErdosRenyi(r, 50, 1); g.NumEdges() != 50*49/2 {
+		t.Fatalf("p=1 edges = %d", g.NumEdges())
+	}
+	if g := ErdosRenyi(r, 0, 0.5); g.NumNodes() != 0 {
+		t.Fatal("n=0 should be empty")
+	}
+	if g := ErdosRenyi(r, 1, 0.5); g.NumEdges() != 0 {
+		t.Fatal("n=1 has no possible edges")
+	}
+}
+
+func TestErdosRenyiPanics(t *testing.T) {
+	r := xrand.New(3)
+	for _, f := range []func(){
+		func() { ErdosRenyi(r, -1, 0.5) },
+		func() { ErdosRenyi(r, 10, -0.1) },
+		func() { ErdosRenyi(r, 10, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	g1 := ErdosRenyi(xrand.New(7), 200, 0.05)
+	g2 := ErdosRenyi(xrand.New(7), 200, 0.05)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed, different edge count")
+	}
+	g1.Edges(func(e graph.Edge) bool {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v missing in replica", e)
+		}
+		return true
+	})
+}
+
+func TestErdosRenyiEdgeIndependence(t *testing.T) {
+	// Each specific edge should appear with probability ≈ p across seeds.
+	const trials = 400
+	p := 0.3
+	count := 0
+	for s := 0; s < trials; s++ {
+		g := ErdosRenyi(xrand.New(uint64(s)), 6, p)
+		if g.HasEdge(2, 4) {
+			count++
+		}
+	}
+	got := float64(count) / trials
+	if math.Abs(got-p) > 0.1 {
+		t.Fatalf("edge rate %v, want ≈ %v", got, p)
+	}
+}

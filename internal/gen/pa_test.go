@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestPreferentialAttachmentBasic(t *testing.T) {
+	r := xrand.New(1)
+	n, m := 5000, 5
+	g := PreferentialAttachment(r, n, m)
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() > int64(n)*int64(m) {
+		t.Fatalf("edges = %d exceeds nm", g.NumEdges())
+	}
+	// After dedup a large fraction of the nm generated edges must survive.
+	if g.NumEdges() < int64(n)*int64(m)*8/10 {
+		t.Fatalf("edges = %d; too many lost to dedup", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPASkewedDegrees(t *testing.T) {
+	// The hallmark of PA: max degree far above the median, and a power-law
+	// exponent near 3 for the pure BA process.
+	g := PreferentialAttachment(xrand.New(2), 20000, 4)
+	s := graph.ComputeStats(g)
+	if s.MaxDegree < 20*s.MedDegree {
+		t.Fatalf("maxdeg=%d meddeg=%d: not skewed", s.MaxDegree, s.MedDegree)
+	}
+	alpha := graph.PowerLawExponentMLE(g, 8)
+	if alpha < 2.0 || alpha > 4.0 {
+		t.Fatalf("power-law exponent = %v, want within [2,4]", alpha)
+	}
+}
+
+func TestPAFirstMoverAdvantage(t *testing.T) {
+	// Lemma 7 flavor: early nodes accumulate much higher degree than late
+	// ones. Compare mean degree of the first 1% vs the last 50%.
+	g := PreferentialAttachment(xrand.New(3), 10000, 4)
+	early, late := 0.0, 0.0
+	nEarly, nLate := 100, 5000
+	for v := 0; v < nEarly; v++ {
+		early += float64(g.Degree(graph.NodeID(v)))
+	}
+	for v := 5000; v < 10000; v++ {
+		late += float64(g.Degree(graph.NodeID(v)))
+	}
+	early /= float64(nEarly)
+	late /= float64(nLate)
+	if early < 5*late {
+		t.Fatalf("early mean degree %v not ≫ late mean degree %v", early, late)
+	}
+}
+
+func TestPADeterministic(t *testing.T) {
+	g1 := PreferentialAttachment(xrand.New(9), 1000, 3)
+	g2 := PreferentialAttachment(xrand.New(9), 1000, 3)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different PA graphs")
+	}
+}
+
+func TestPAEdgeCases(t *testing.T) {
+	if g := PreferentialAttachment(xrand.New(1), 0, 3); g.NumNodes() != 0 {
+		t.Fatal("n=0 should be empty")
+	}
+	g := PreferentialAttachment(xrand.New(1), 1, 3)
+	// A single node can only produce self-loops, all dropped.
+	if g.NumEdges() != 0 {
+		t.Fatalf("n=1 edges = %d", g.NumEdges())
+	}
+	for _, f := range []func(){
+		func() { PreferentialAttachment(xrand.New(1), -1, 3) },
+		func() { PreferentialAttachment(xrand.New(1), 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPAWithEnds(t *testing.T) {
+	g, raw := PAWithEnds(xrand.New(4), 500, 3)
+	if len(raw) != 500*3 {
+		t.Fatalf("raw edges = %d, want 1500", len(raw))
+	}
+	// Every simple edge must appear in the raw list.
+	rawSet := map[graph.Edge]bool{}
+	for _, e := range raw {
+		rawSet[e.Canonical()] = true
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if !rawSet[e] {
+			t.Fatalf("edge %v in graph but not raw list", e)
+		}
+		return true
+	})
+	// Raw list orders edges by arrival: edge i belongs to node i/m.
+	for i, e := range raw {
+		u := graph.NodeID(i / 3)
+		if e.U != u {
+			t.Fatalf("raw edge %d has U=%d, want %d", i, e.U, u)
+		}
+		if e.V > u {
+			t.Fatalf("raw edge %d attaches to future node %d > %d", i, e.V, u)
+		}
+	}
+}

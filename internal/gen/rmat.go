@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// RMATParams configures the recursive-matrix generator of Chakrabarti, Zhan
+// and Faloutsos (SDM 2004), the model behind the paper's RMAT24/26/28
+// scalability graphs.
+type RMATParams struct {
+	// Scale: the graph has 2^Scale nodes.
+	Scale int
+	// EdgeFactor: number of generated edges per node (duplicates and
+	// self-loops are removed afterwards, so the final count is lower —
+	// exactly as in the reference generator, which is why the paper's
+	// RMAT24 has 8.87M nodes rather than 16.7M: isolated nodes are dropped).
+	EdgeFactor int
+	// Quadrant probabilities; must be positive and sum to 1.
+	A, B, C, D float64
+	// Noise perturbs the quadrant probabilities at every recursion level by
+	// a uniform factor in [1-Noise, 1+Noise] (renormalized), the standard
+	// smoothing that avoids degree oscillations. 0 disables.
+	Noise float64
+	// DropIsolated removes nodes that end up with no edges, renumbering the
+	// remainder densely (Graph500 convention; matches the paper's node
+	// counts being below 2^Scale).
+	DropIsolated bool
+}
+
+// DefaultRMAT returns the Graph500-style parameterization used throughout the
+// experiments: (a,b,c,d) = (0.57, 0.19, 0.19, 0.05), 16 edges per node.
+func DefaultRMAT(scale int) RMATParams {
+	return RMATParams{Scale: scale, EdgeFactor: 16, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Noise: 0.1, DropIsolated: true}
+}
+
+// RMAT generates a graph from the recursive matrix model.
+func RMAT(r *xrand.Rand, p RMATParams) *graph.Graph {
+	if p.Scale < 0 || p.Scale > 30 {
+		panic("gen: RMAT scale out of range [0, 30]")
+	}
+	if p.EdgeFactor < 1 {
+		panic("gen: RMAT edge factor must be >= 1")
+	}
+	sum := p.A + p.B + p.C + p.D
+	if p.A <= 0 || p.B <= 0 || p.C <= 0 || p.D <= 0 || sum < 0.999 || sum > 1.001 {
+		panic("gen: RMAT quadrant probabilities must be positive and sum to 1")
+	}
+	n := 1 << uint(p.Scale)
+	edges := int64(n) * int64(p.EdgeFactor)
+	b := graph.NewBuilder(n, edges)
+	for i := int64(0); i < edges; i++ {
+		u, v := rmatEdge(r, p)
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	if !p.DropIsolated {
+		return g
+	}
+	return dropIsolated(g)
+}
+
+func rmatEdge(r *xrand.Rand, p RMATParams) (graph.NodeID, graph.NodeID) {
+	var u, v uint32
+	a, bb, c := p.A, p.B, p.C
+	for level := 0; level < p.Scale; level++ {
+		al, bl, cl := a, bb, c
+		if p.Noise > 0 {
+			al *= 1 + p.Noise*(2*r.Float64()-1)
+			bl *= 1 + p.Noise*(2*r.Float64()-1)
+			cl *= 1 + p.Noise*(2*r.Float64()-1)
+			dl := (1 - a - bb - c) * (1 + p.Noise*(2*r.Float64()-1))
+			norm := al + bl + cl + dl
+			al, bl, cl = al/norm, bl/norm, cl/norm
+		}
+		x := r.Float64()
+		u <<= 1
+		v <<= 1
+		switch {
+		case x < al:
+			// top-left: no bits set
+		case x < al+bl:
+			v |= 1
+		case x < al+bl+cl:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return graph.NodeID(u), graph.NodeID(v)
+}
+
+// dropIsolated renumbers nodes with degree >= 1 densely and discards the rest.
+func dropIsolated(g *graph.Graph) *graph.Graph {
+	n := g.NumNodes()
+	remap := make([]graph.NodeID, n)
+	kept := 0
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.NodeID(v)) > 0 {
+			remap[v] = graph.NodeID(kept)
+			kept++
+		} else {
+			remap[v] = ^graph.NodeID(0)
+		}
+	}
+	b := graph.NewBuilder(kept, g.NumEdges())
+	g.Edges(func(e graph.Edge) bool {
+		b.AddEdge(remap[e.U], remap[e.V])
+		return true
+	})
+	return b.Build()
+}

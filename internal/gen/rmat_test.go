@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestRMATBasic(t *testing.T) {
+	p := DefaultRMAT(12)
+	g := RMAT(xrand.New(1), p)
+	n := 1 << 12
+	if g.NumNodes() > n {
+		t.Fatalf("nodes = %d > 2^scale", g.NumNodes())
+	}
+	if g.NumNodes() < n/4 {
+		t.Fatalf("nodes = %d; too many isolated drops", g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Isolated nodes must be gone.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Degree(graph.NodeID(v)) == 0 {
+			t.Fatalf("isolated node %d survived DropIsolated", v)
+		}
+	}
+}
+
+func TestRMATKeepIsolated(t *testing.T) {
+	p := DefaultRMAT(10)
+	p.DropIsolated = false
+	g := RMAT(xrand.New(2), p)
+	if g.NumNodes() != 1<<10 {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), 1<<10)
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	g := RMAT(xrand.New(3), DefaultRMAT(13))
+	s := graph.ComputeStats(g)
+	if s.MaxDegree < 8*s.MedDegree {
+		t.Fatalf("maxdeg=%d meddeg=%d: RMAT should be skewed", s.MaxDegree, s.MedDegree)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	g1 := RMAT(xrand.New(5), DefaultRMAT(10))
+	g2 := RMAT(xrand.New(5), DefaultRMAT(10))
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different RMAT graphs")
+	}
+}
+
+func TestRMATPanics(t *testing.T) {
+	r := xrand.New(1)
+	bad := []RMATParams{
+		{Scale: -1, EdgeFactor: 4, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 31, EdgeFactor: 4, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, EdgeFactor: 0, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, EdgeFactor: 4, A: 0.9, B: 0.25, C: 0.25, D: 0.25}, // sum > 1
+		{Scale: 4, EdgeFactor: 4, A: 0, B: 0.5, C: 0.25, D: 0.25},    // zero quadrant
+	}
+	for _, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RMAT(%+v) did not panic", p)
+				}
+			}()
+			RMAT(r, p)
+		}()
+	}
+}
+
+func TestRMATNoNoise(t *testing.T) {
+	p := DefaultRMAT(10)
+	p.Noise = 0
+	g := RMAT(xrand.New(7), p)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

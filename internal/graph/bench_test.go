@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// Substrate micro-benchmarks: CSR construction and the query primitives on
+// the matcher's hot path.
+
+func benchGraph(b *testing.B, n, edges int) *Graph {
+	b.Helper()
+	return randomGraph(1, n, edges)
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := xrand.New(1)
+	const n, edges = 100000, 1000000
+	from := make([]NodeID, edges)
+	to := make([]NodeID, edges)
+	for i := range from {
+		from[i] = NodeID(r.IntN(n))
+		to[i] = NodeID(r.IntN(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd := NewBuilder(n, edges)
+		for j := range from {
+			bd.AddEdge(from[j], to[j])
+		}
+		g := bd.Build()
+		if g.NumNodes() != n {
+			b.Fatal("bad build")
+		}
+	}
+	b.ReportMetric(float64(edges), "edges")
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b, 10000, 100000)
+	r := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID(r.IntN(10000))
+		v := NodeID(r.IntN(10000))
+		g.HasEdge(u, v)
+	}
+}
+
+func BenchmarkCommonNeighborCount(b *testing.B) {
+	g := benchGraph(b, 10000, 200000)
+	r := xrand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID(r.IntN(10000))
+		v := NodeID(r.IntN(10000))
+		g.CommonNeighborCount(u, v)
+	}
+}
+
+func BenchmarkNeighborsScan(b *testing.B) {
+	g := benchGraph(b, 10000, 200000)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			sink += len(g.Neighbors(NodeID(v)))
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkIntersection(b *testing.B) {
+	g := benchGraph(b, 10000, 200000)
+	h := randomGraph(2, 10000, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersection(g, h)
+	}
+}
+
+func BenchmarkAverageClustering(b *testing.B) {
+	g := benchGraph(b, 10000, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AverageClustering(g, 10)
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocalClusteringTriangle(t *testing.T) {
+	g := clique(3)
+	for v := NodeID(0); v < 3; v++ {
+		if got := LocalClustering(g, v); got != 1 {
+			t.Fatalf("triangle node %d clustering = %v", v, got)
+		}
+	}
+}
+
+func TestLocalClusteringStar(t *testing.T) {
+	b := NewBuilder(4, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.Build()
+	if got := LocalClustering(g, 0); got != 0 {
+		t.Fatalf("star hub clustering = %v", got)
+	}
+	if got := LocalClustering(g, 1); got != 0 {
+		t.Fatalf("degree-1 node clustering = %v, want 0", got)
+	}
+}
+
+func TestLocalClusteringHalf(t *testing.T) {
+	// Node 0 with neighbors 1,2,3; only edge 1-2 among them: C = 1/3.
+	g := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}})
+	if got := LocalClustering(g, 0); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("clustering = %v, want 1/3", got)
+	}
+}
+
+func TestAverageClustering(t *testing.T) {
+	// Two disjoint triangles: every node has C = 1.
+	g := FromEdges(6, []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5},
+	})
+	if got := AverageClustering(g, 1); got != 1 {
+		t.Fatalf("avg clustering = %v", got)
+	}
+	// Sampling every 2nd node still lands on triangle corners only.
+	if got := AverageClustering(g, 2); got != 1 {
+		t.Fatalf("sampled avg clustering = %v", got)
+	}
+	// Path: no triangles.
+	if got := AverageClustering(path(5), 1); got != 0 {
+		t.Fatalf("path clustering = %v", got)
+	}
+	// Empty graph.
+	if got := AverageClustering(NewBuilder(0, 0).Build(), 1); got != 0 {
+		t.Fatalf("empty clustering = %v", got)
+	}
+	// sampleEvery < 1 is clamped.
+	if got := AverageClustering(g, 0); got != 1 {
+		t.Fatalf("clamped sampling = %v", got)
+	}
+}
+
+func TestGlobalClustering(t *testing.T) {
+	if got := GlobalClustering(clique(4)); got != 1 {
+		t.Fatalf("clique transitivity = %v", got)
+	}
+	if got := GlobalClustering(path(6)); got != 0 {
+		t.Fatalf("path transitivity = %v", got)
+	}
+	// Triangle plus a pendant: triangles 1 (×3 wedge hits), triads:
+	// deg(0)=2:1, deg(1)=3:3, deg(2)=2:1, deg(3)=1:0 → 5 wedges, 3 closed.
+	g := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 1, V: 3}})
+	if got := GlobalClustering(g); math.Abs(got-3.0/5.0) > 1e-12 {
+		t.Fatalf("transitivity = %v, want 0.6", got)
+	}
+	if got := GlobalClustering(NewBuilder(3, 0).Build()); got != 0 {
+		t.Fatalf("edgeless transitivity = %v", got)
+	}
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"testing"
+)
+
+// path returns the path graph 0-1-2-...-(n-1).
+func path(n int) *Graph {
+	b := NewBuilder(n, int64(n))
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return b.Build()
+}
+
+// clique returns the complete graph on n nodes.
+func clique(n int) *Graph {
+	b := NewBuilder(n, int64(n*n/2))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	return b.Build()
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0, 0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 || g.MaxDegree() != 0 {
+		t.Fatalf("empty graph: nodes=%d edges=%d maxdeg=%d", g.NumNodes(), g.NumEdges(), g.MaxDegree())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var nilg *Graph
+	if nilg.NumNodes() != 0 || nilg.NumEdges() != 0 || nilg.MaxDegree() != 0 {
+		t.Fatal("nil graph accessors should be zero")
+	}
+}
+
+func TestIsolatedNodes(t *testing.T) {
+	g := NewBuilder(5, 0).Build()
+	if g.NumNodes() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	for v := NodeID(0); v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Fatalf("degree(%d) = %d", v, g.Degree(v))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3, 10)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate in reverse
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self-loop dropped
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(1, 2) {
+		t.Fatal("expected edges missing")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(2, 2) {
+		t.Fatal("unexpected edge present")
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(6, 10)
+	for _, v := range []NodeID{5, 2, 4, 1, 3} {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	ns := g.Neighbors(0)
+	want := []NodeID{1, 2, 3, 4, 5}
+	if len(ns) != len(want) {
+		t.Fatalf("neighbors = %v", ns)
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", ns, want)
+		}
+	}
+	if g.MaxDegree() != 5 {
+		t.Fatalf("maxdeg = %d", g.MaxDegree())
+	}
+}
+
+func TestEnsureNodeAndPanics(t *testing.T) {
+	b := NewBuilder(2, 0)
+	b.EnsureNode(9)
+	if b.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d", b.NumNodes())
+	}
+	b.AddEdge(9, 0)
+	g := b.Build()
+	if !g.HasEdge(0, 9) {
+		t.Fatal("edge 0-9 missing")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(2, 0).AddEdge(0, 2)
+}
+
+func TestNegativeBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuilder(-1, _) did not panic")
+		}
+	}()
+	NewBuilder(-1, 0)
+}
+
+func TestEdgesIterationAndEarlyStop(t *testing.T) {
+	g := clique(5)
+	count := 0
+	g.Edges(func(e Edge) bool {
+		if e.U >= e.V {
+			t.Fatalf("edge %v not canonical", e)
+		}
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("edge count = %d, want 10", count)
+	}
+	count = 0
+	g.Edges(func(e Edge) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d edges", count)
+	}
+	if len(g.EdgeSlice()) != 10 {
+		t.Fatalf("EdgeSlice length %d", len(g.EdgeSlice()))
+	}
+}
+
+func TestCommonNeighborCount(t *testing.T) {
+	// Star: node 0 connected to 1..4; 1 and 2 share only node 0.
+	b := NewBuilder(5, 8)
+	for v := NodeID(1); v < 5; v++ {
+		b.AddEdge(0, v)
+	}
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if got := g.CommonNeighborCount(1, 2); got != 1 {
+		t.Fatalf("common(1,2) = %d, want 1", got)
+	}
+	if got := g.CommonNeighborCount(3, 4); got != 1 {
+		t.Fatalf("common(3,4) = %d, want 1", got)
+	}
+	if got := g.CommonNeighborCount(0, 3); got != 0 {
+		t.Fatalf("common(0,3) = %d, want 0", got)
+	}
+	k := clique(6)
+	if got := k.CommonNeighborCount(0, 1); got != 4 {
+		t.Fatalf("clique common = %d, want 4", got)
+	}
+}
+
+func TestCrossCommonNeighborCount(t *testing.T) {
+	g := path(4) // 0-1-2-3
+	h := clique(4)
+	// In g, N(1) = {0,2}; in h, N(1) = {0,2,3}; shared IDs: 0 and 2.
+	if got := CrossCommonNeighborCount(g, 1, h, 1); got != 2 {
+		t.Fatalf("cross common = %d, want 2", got)
+	}
+	if got := CrossCommonNeighborCount(g, 0, h, 3); got != 1 {
+		t.Fatalf("cross common = %d, want 1", got)
+	}
+}
+
+func TestEdgeCanonical(t *testing.T) {
+	if (Edge{3, 1}).Canonical() != (Edge{1, 3}) {
+		t.Fatal("Canonical did not order endpoints")
+	}
+	if (Edge{1, 3}).Canonical() != (Edge{1, 3}) {
+		t.Fatal("Canonical changed an ordered edge")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 1}})
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasEdgeSearchesSmallerList(t *testing.T) {
+	// Hub with many neighbors; HasEdge(hub, leaf) should still be correct.
+	const n = 1000
+	b := NewBuilder(n, n)
+	for v := NodeID(1); v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	if !g.HasEdge(0, 500) || !g.HasEdge(500, 0) {
+		t.Fatal("hub edge missing")
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("leaf-leaf edge should not exist")
+	}
+}

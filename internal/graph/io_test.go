@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment line
+10 20
+20	30
+
+# another comment
+10 30
+30 10
+`
+	g, ids, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Densification is first-appearance order: 10->0, 20->1, 30->2.
+	want := []int64{10, 20, 30}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(0, 2) {
+		t.Fatalf("edges = %v", g.EdgeSlice())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"single field":  "12\n",
+		"non-numeric u": "a 2\n",
+		"non-numeric v": "1 b\n",
+		"negative id":   "-1 2\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, ids, err := ReadEdgeList(strings.NewReader("# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || len(ids) != 0 {
+		t.Fatalf("nodes=%d ids=%v", g.NumNodes(), ids)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, ids, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Written IDs are dense already; the read-back graph may renumber by
+	// first appearance but must be isomorphic via the ids mapping. Since
+	// WriteEdgeList emits edges with u < v ordered by u, first-appearance
+	// order equals numeric order here.
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d, want %d", h.NumEdges(), g.NumEdges())
+	}
+	g.Edges(func(e Edge) bool {
+		// Map original IDs to dense read IDs.
+		var ue, ve NodeID = ^NodeID(0), ^NodeID(0)
+		for dense, orig := range ids {
+			if orig == int64(e.U) {
+				ue = NodeID(dense)
+			}
+			if orig == int64(e.V) {
+				ve = NodeID(dense)
+			}
+		}
+		if !h.HasEdge(ue, ve) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+		return true
+	})
+}

@@ -1,0 +1,95 @@
+package graph
+
+// Ops on graphs that the experiments need: intersection (nodes alive in both
+// copies), relabeling (anonymization), induced subgraphs, and union.
+
+// Intersection returns the graph on the same node set containing exactly the
+// edges present in both g and h. The paper evaluates recall against the
+// intersection of the two copies: nodes with degree 0 in the intersection
+// can never be identified from structure alone.
+func Intersection(g, h *Graph) *Graph {
+	n := g.NumNodes()
+	if h.NumNodes() != n {
+		panic("graph: Intersection requires aligned node sets")
+	}
+	b := NewBuilder(n, min64(g.NumEdges(), h.NumEdges()))
+	for u := 0; u < n; u++ {
+		a, c := g.Neighbors(NodeID(u)), h.Neighbors(NodeID(u))
+		i, j := 0, 0
+		for i < len(a) && j < len(c) {
+			switch {
+			case a[i] < c[j]:
+				i++
+			case a[i] > c[j]:
+				j++
+			default:
+				if NodeID(u) < a[i] {
+					b.AddEdge(NodeID(u), a[i])
+				}
+				i++
+				j++
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Union returns the graph containing every edge of g or h, over aligned node
+// sets.
+func Union(g, h *Graph) *Graph {
+	n := g.NumNodes()
+	if h.NumNodes() != n {
+		panic("graph: Union requires aligned node sets")
+	}
+	b := NewBuilder(n, g.NumEdges()+h.NumEdges())
+	g.Edges(func(e Edge) bool { b.AddEdge(e.U, e.V); return true })
+	h.Edges(func(e Edge) bool { b.AddEdge(e.U, e.V); return true })
+	return b.Build()
+}
+
+// Relabel returns a copy of g with node v renamed to perm[v]. perm must be a
+// permutation of 0..n-1. Relabeling models anonymization: the de-anonymization
+// example releases Relabel(g, perm) and asks the matcher to recover perm.
+func Relabel(g *Graph, perm []NodeID) *Graph {
+	n := g.NumNodes()
+	if len(perm) != n {
+		panic("graph: Relabel permutation has wrong length")
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if int(p) >= n || seen[p] {
+			panic("graph: Relabel argument is not a permutation")
+		}
+		seen[p] = true
+	}
+	b := NewBuilder(n, g.NumEdges())
+	g.Edges(func(e Edge) bool {
+		b.AddEdge(perm[e.U], perm[e.V])
+		return true
+	})
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by keep (nodes with
+// keep[v] == true), preserving node IDs (dropped nodes become isolated).
+func InducedSubgraph(g *Graph, keep []bool) *Graph {
+	n := g.NumNodes()
+	if len(keep) != n {
+		panic("graph: InducedSubgraph mask has wrong length")
+	}
+	b := NewBuilder(n, g.NumEdges())
+	g.Edges(func(e Edge) bool {
+		if keep[e.U] && keep[e.V] {
+			b.AddEdge(e.U, e.V)
+		}
+		return true
+	})
+	return b.Build()
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

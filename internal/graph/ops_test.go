@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// randomGraph builds a deterministic pseudo-random graph for property tests.
+func randomGraph(seed uint64, n int, edges int) *Graph {
+	r := xrand.New(seed)
+	b := NewBuilder(n, int64(edges))
+	for i := 0; i < edges; i++ {
+		u := NodeID(r.IntN(n))
+		v := NodeID(r.IntN(n))
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestIntersection(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	h := FromEdges(4, []Edge{{0, 1}, {2, 3}, {0, 3}})
+	x := Intersection(g, h)
+	if x.NumEdges() != 2 || !x.HasEdge(0, 1) || !x.HasEdge(2, 3) {
+		t.Fatalf("intersection edges = %v", x.EdgeSlice())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}})
+	h := FromEdges(4, []Edge{{0, 1}, {2, 3}})
+	u := Union(g, h)
+	if u.NumEdges() != 2 || !u.HasEdge(0, 1) || !u.HasEdge(2, 3) {
+		t.Fatalf("union edges = %v", u.EdgeSlice())
+	}
+}
+
+func TestIntersectionUnionProperties(t *testing.T) {
+	// |E(g ∩ h)| + |E(g ∪ h)| == |E(g)| + |E(h)|, and subset relations hold.
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 30, 80)
+		h := randomGraph(seed+1, 30, 80)
+		x := Intersection(g, h)
+		u := Union(g, h)
+		if x.NumEdges()+u.NumEdges() != g.NumEdges()+h.NumEdges() {
+			return false
+		}
+		ok := true
+		x.Edges(func(e Edge) bool {
+			if !g.HasEdge(e.U, e.V) || !h.HasEdge(e.U, e.V) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		g.Edges(func(e Edge) bool {
+			if !u.HasEdge(e.U, e.V) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && x.Validate() == nil && u.Validate() == nil
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched node sets")
+		}
+	}()
+	Intersection(FromEdges(3, nil), FromEdges(4, nil))
+}
+
+func TestRelabel(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	perm := []NodeID{3, 2, 1, 0} // reverse
+	h := Relabel(g, perm)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges = %d", h.NumEdges())
+	}
+	// Edge {0,1} becomes {3,2}, etc.
+	if !h.HasEdge(3, 2) || !h.HasEdge(2, 1) || !h.HasEdge(1, 0) {
+		t.Fatalf("relabeled edges = %v", h.EdgeSlice())
+	}
+	for v := 0; v < 4; v++ {
+		if g.Degree(NodeID(v)) != h.Degree(perm[v]) {
+			t.Fatalf("degree of %d not preserved under relabel", v)
+		}
+	}
+}
+
+func TestRelabelRejectsNonPermutation(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}})
+	for _, perm := range [][]NodeID{
+		{0, 1},    // wrong length
+		{0, 0, 1}, // duplicate
+		{0, 1, 3}, // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Relabel(%v) did not panic", perm)
+				}
+			}()
+			Relabel(g, perm)
+		}()
+	}
+}
+
+func TestRelabelRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 20, 40)
+		r := xrand.New(seed ^ 0xabcdef)
+		permInts := r.Perm(20)
+		perm := make([]NodeID, 20)
+		inv := make([]NodeID, 20)
+		for i, p := range permInts {
+			perm[i] = NodeID(p)
+			inv[p] = NodeID(i)
+		}
+		h := Relabel(Relabel(g, perm), inv)
+		if h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		same := true
+		g.Edges(func(e Edge) bool {
+			if !h.HasEdge(e.U, e.V) {
+				same = false
+				return false
+			}
+			return true
+		})
+		return same
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := clique(4)
+	keep := []bool{true, true, true, false}
+	h := InducedSubgraph(g, keep)
+	if h.NumNodes() != 4 {
+		t.Fatalf("nodes = %d (IDs must be preserved)", h.NumNodes())
+	}
+	if h.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", h.NumEdges())
+	}
+	if h.Degree(3) != 0 {
+		t.Fatal("dropped node should be isolated")
+	}
+}
+
+func TestInducedSubgraphBadMask(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong mask length")
+		}
+	}()
+	InducedSubgraph(clique(3), []bool{true})
+}

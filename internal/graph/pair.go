@@ -1,0 +1,19 @@
+package graph
+
+// Pair links a node of a "left" graph G1 to a node of a "right" graph G2.
+// Pairs represent both the trusted seed links the model provides and the
+// identifications the matcher outputs.
+type Pair struct {
+	Left  NodeID // node in G1
+	Right NodeID // node in G2
+}
+
+// IdentityPairs returns the n pairs (i, i) — the ground truth when both
+// copies share the parent graph's node numbering.
+func IdentityPairs(n int) []Pair {
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = Pair{NodeID(i), NodeID(i)}
+	}
+	return ps
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// Property tests over randomized builds: every constructed graph satisfies
+// the CSR invariants, edge membership matches a reference map, and repeated
+// builds are deterministic.
+
+func TestBuildMatchesReferenceSet(t *testing.T) {
+	err := quick.Check(func(seed uint64, nEdges8 uint8) bool {
+		const n = 25
+		nEdges := int(nEdges8) // 0..255 edges
+		r := xrand.New(seed)
+		b := NewBuilder(n, int64(nEdges))
+		ref := map[Edge]bool{}
+		for i := 0; i < nEdges; i++ {
+			u := NodeID(r.IntN(n))
+			v := NodeID(r.IntN(n))
+			b.AddEdge(u, v)
+			if u != v {
+				ref[Edge{u, v}.Canonical()] = true
+			}
+		}
+		g := b.Build()
+		if g.Validate() != nil {
+			return false
+		}
+		if int(g.NumEdges()) != len(ref) {
+			return false
+		}
+		for e := range ref {
+			if !g.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		// No extra edges.
+		extra := false
+		g.Edges(func(e Edge) bool {
+			if !ref[e] {
+				extra = true
+				return false
+			}
+			return true
+		})
+		return !extra
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g1 := randomGraph(99, 50, 200)
+	g2 := randomGraph(99, 50, 200)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for v := 0; v < 50; v++ {
+		a, b := g1.Neighbors(NodeID(v)), g2.Neighbors(NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestBuilderReuse(t *testing.T) {
+	// Build twice from the same builder: identical graphs, and edges added
+	// after the first Build appear only in the second.
+	b := NewBuilder(4, 4)
+	b.AddEdge(0, 1)
+	g1 := b.Build()
+	b.AddEdge(2, 3)
+	g2 := b.Build()
+	if g1.NumEdges() != 1 {
+		t.Fatalf("g1 edges = %d", g1.NumEdges())
+	}
+	if g2.NumEdges() != 2 || !g2.HasEdge(2, 3) || !g2.HasEdge(0, 1) {
+		t.Fatalf("g2 edges = %v", g2.EdgeSlice())
+	}
+	if b.PendingEdges() != 2 {
+		t.Fatalf("pending = %d", b.PendingEdges())
+	}
+}

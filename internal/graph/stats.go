@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stats summarizes a graph for experiment logs (Table 1 of the paper reports
+// exactly nodes and edges; we add degree statistics used to calibrate the
+// dataset stand-ins).
+type Stats struct {
+	Nodes       int
+	Edges       int64
+	MaxDegree   int
+	AvgDegree   float64
+	MedDegree   int
+	Isolated    int // nodes with degree 0
+	DegreeLE5   int // nodes with degree <= 5 (paper's recall ceiling driver)
+	Components  int
+	LargestComp int
+}
+
+// ComputeStats returns summary statistics for g.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumNodes()
+	s := Stats{Nodes: n, Edges: g.NumEdges(), MaxDegree: g.MaxDegree()}
+	if n == 0 {
+		return s
+	}
+	degs := make([]int, n)
+	var sum int64
+	for v := 0; v < n; v++ {
+		d := g.Degree(NodeID(v))
+		degs[v] = d
+		sum += int64(d)
+		if d == 0 {
+			s.Isolated++
+		}
+		if d <= 5 {
+			s.DegreeLE5++
+		}
+	}
+	s.AvgDegree = float64(sum) / float64(n)
+	s.MedDegree = median(degs)
+	s.Components, s.LargestComp = componentStats(g)
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d edges=%d maxdeg=%d avgdeg=%.2f meddeg=%d deg<=5=%d isolated=%d comps=%d largest=%d",
+		s.Nodes, s.Edges, s.MaxDegree, s.AvgDegree, s.MedDegree, s.DegreeLE5, s.Isolated, s.Components, s.LargestComp)
+}
+
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Counting selection: degrees are small non-negative ints bounded by max.
+	maxv := 0
+	for _, x := range xs {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	counts := make([]int, maxv+1)
+	for _, x := range xs {
+		counts[x]++
+	}
+	target := (len(xs) - 1) / 2
+	run := 0
+	for v, c := range counts {
+		run += c
+		if run > target {
+			return v
+		}
+	}
+	return maxv
+}
+
+// DegreeHistogram returns counts[d] = number of nodes of degree d, for
+// d in [0, MaxDegree].
+func DegreeHistogram(g *Graph) []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumNodes(); v++ {
+		counts[g.Degree(NodeID(v))]++
+	}
+	return counts
+}
+
+// componentStats returns the number of connected components (counting
+// isolated nodes) and the size of the largest, via iterative BFS.
+func componentStats(g *Graph) (count, largest int) {
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	queue := make([]NodeID, 0, 1024)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		count++
+		size := 0
+		visited[start] = true
+		queue = append(queue[:0], NodeID(start))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return count, largest
+}
+
+// PowerLawExponentMLE estimates the exponent of a power-law degree
+// distribution by the discrete maximum-likelihood estimator of Clauset,
+// Shalizi & Newman restricted to degrees >= dmin. It is used to verify that
+// the PA generator and the dataset stand-ins are in the expected regime.
+func PowerLawExponentMLE(g *Graph, dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	var sum float64
+	var count int
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(NodeID(v))
+		if d >= dmin {
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			count++
+		}
+	}
+	if count == 0 || sum == 0 {
+		return math.NaN()
+	}
+	return 1 + float64(count)/sum
+}
+
+// FormatHistogram renders a degree histogram as a compact log-bucketed text
+// bar chart for experiment logs.
+func FormatHistogram(counts []int) string {
+	var b strings.Builder
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return "(empty)"
+	}
+	for lo := 1; lo < len(counts); lo *= 2 {
+		hi := lo*2 - 1
+		sum := 0
+		for d := lo; d <= hi && d < len(counts); d++ {
+			sum += counts[d]
+		}
+		if sum == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", 1+sum*50/total)
+		fmt.Fprintf(&b, "deg %6d-%-6d %8d %s\n", lo, hi, sum, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeStatsPath(t *testing.T) {
+	g := path(5) // degrees 1,2,2,2,1
+	s := ComputeStats(g)
+	if s.Nodes != 5 || s.Edges != 4 {
+		t.Fatalf("nodes=%d edges=%d", s.Nodes, s.Edges)
+	}
+	if s.MaxDegree != 2 || s.MedDegree != 2 {
+		t.Fatalf("maxdeg=%d meddeg=%d", s.MaxDegree, s.MedDegree)
+	}
+	if math.Abs(s.AvgDegree-1.6) > 1e-9 {
+		t.Fatalf("avgdeg=%v", s.AvgDegree)
+	}
+	if s.Isolated != 0 || s.DegreeLE5 != 5 {
+		t.Fatalf("isolated=%d le5=%d", s.Isolated, s.DegreeLE5)
+	}
+	if s.Components != 1 || s.LargestComp != 5 {
+		t.Fatalf("comps=%d largest=%d", s.Components, s.LargestComp)
+	}
+	if !strings.Contains(s.String(), "nodes=5") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestComputeStatsDisconnected(t *testing.T) {
+	b := NewBuilder(6, 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// node 5 isolated
+	g := b.Build()
+	s := ComputeStats(g)
+	if s.Components != 3 {
+		t.Fatalf("components = %d, want 3", s.Components)
+	}
+	if s.LargestComp != 3 {
+		t.Fatalf("largest = %d, want 3", s.LargestComp)
+	}
+	if s.Isolated != 1 {
+		t.Fatalf("isolated = %d, want 1", s.Isolated)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(NewBuilder(0, 0).Build())
+	if s.Nodes != 0 || s.Components != 0 {
+		t.Fatalf("stats of empty graph: %+v", s)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path(4) // degrees 1,2,2,1
+	h := DegreeHistogram(g)
+	if len(h) != 3 {
+		t.Fatalf("len(hist) = %d", len(h))
+	}
+	if h[0] != 0 || h[1] != 2 || h[2] != 2 {
+		t.Fatalf("hist = %v", h)
+	}
+}
+
+func TestDegreeSumEquals2E(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		g := randomGraph(seed, 40, 120)
+		var sum int64
+		for v := 0; v < g.NumNodes(); v++ {
+			sum += int64(g.Degree(NodeID(v)))
+		}
+		return sum == 2*g.NumEdges() && g.Validate() == nil
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{5}, 5},
+		{[]int{1, 2, 3}, 2},
+		{[]int{1, 2, 3, 4}, 2},
+		{[]int{0, 0, 0, 9}, 0},
+	}
+	for _, c := range cases {
+		if got := median(append([]int(nil), c.in...)); got != c.want {
+			t.Errorf("median(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPowerLawExponentMLEOnUniform(t *testing.T) {
+	// A clique has all degrees equal; the MLE should be far above 2
+	// (degenerate distribution), while NaN for an empty graph.
+	if !math.IsNaN(PowerLawExponentMLE(NewBuilder(0, 0).Build(), 1)) {
+		t.Error("expected NaN for empty graph")
+	}
+	// dmin clamp: dmin < 1 treated as 1.
+	g := clique(5)
+	a := PowerLawExponentMLE(g, 0)
+	if math.IsNaN(a) || a <= 1 {
+		t.Errorf("exponent = %v", a)
+	}
+}
+
+func TestFormatHistogram(t *testing.T) {
+	if got := FormatHistogram([]int{0}); got != "(empty)" {
+		t.Fatalf("FormatHistogram(zero) = %q", got)
+	}
+	out := FormatHistogram([]int{0, 10, 5, 0, 1})
+	if !strings.Contains(out, "deg") || !strings.Contains(out, "#") {
+		t.Fatalf("unexpected histogram output %q", out)
+	}
+}

@@ -1,0 +1,127 @@
+// Package mapreduce provides a small in-memory MapReduce framework and the
+// paper's formulation of User-Matching as O(k·log D) rounds of 4 consecutive
+// MapReductions each — the distributed shape the authors run at
+// Twitter/Facebook scale. The framework executes map tasks on a goroutine
+// pool and groups deterministically (by input order), so the MapReduce
+// engine produces bit-identical results to the in-core engines; the
+// equivalence is tested.
+package mapreduce
+
+import (
+	"sync"
+)
+
+// KV is a key-value pair flowing between the map and reduce stages.
+type KV[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Config controls execution.
+type Config struct {
+	// Workers bounds map- and reduce-stage parallelism; values < 1 mean 1.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// Run executes one MapReduce job:
+//
+//   - mapper is applied to every input, emitting intermediate key-value
+//     pairs;
+//   - pairs are grouped by key (the shuffle);
+//   - reducer is applied to each key group, emitting results.
+//
+// Grouping order is the first-appearance order of keys in input order, and
+// results are concatenated in that order, so Run is deterministic for any
+// worker count.
+func Run[I any, K comparable, V any, R any](
+	cfg Config,
+	inputs []I,
+	mapper func(in I, emit func(K, V)),
+	reducer func(key K, values []V, emit func(R)),
+) []R {
+	// Map phase: per-input emission buffers keep grouping deterministic.
+	emitted := make([][]KV[K, V], len(inputs))
+	parallelFor(cfg.workers(), len(inputs), func(i int) {
+		var buf []KV[K, V]
+		mapper(inputs[i], func(k K, v V) {
+			buf = append(buf, KV[K, V]{k, v})
+		})
+		emitted[i] = buf
+	})
+
+	// Shuffle: group values by key in first-appearance order.
+	index := make(map[K]int)
+	var keys []K
+	var groups [][]V
+	for _, buf := range emitted {
+		for _, kv := range buf {
+			gi, ok := index[kv.Key]
+			if !ok {
+				gi = len(keys)
+				index[kv.Key] = gi
+				keys = append(keys, kv.Key)
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], kv.Value)
+		}
+	}
+
+	// Reduce phase: per-key output buffers, concatenated in key order.
+	outs := make([][]R, len(keys))
+	parallelFor(cfg.workers(), len(keys), func(i int) {
+		var buf []R
+		reducer(keys[i], groups[i], func(r R) {
+			buf = append(buf, r)
+		})
+		outs[i] = buf
+	})
+	var results []R
+	for _, o := range outs {
+		results = append(results, o...)
+	}
+	return results
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to workers goroutines,
+// assigning contiguous chunks.
+func parallelFor(workers, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

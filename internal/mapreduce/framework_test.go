@@ -1,0 +1,112 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+)
+
+func wordCount(cfg Config, docs []string) []KV[string, int] {
+	return Run(cfg, docs,
+		func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		func(word string, counts []int, emit func(KV[string, int])) {
+			sum := 0
+			for _, c := range counts {
+				sum += c
+			}
+			emit(KV[string, int]{word, sum})
+		})
+}
+
+func TestWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a"}
+	got := wordCount(Config{Workers: 2}, docs)
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for _, kv := range got {
+		if want[kv.Key] != kv.Value {
+			t.Fatalf("word %q count %d, want %d", kv.Key, kv.Value, want[kv.Key])
+		}
+	}
+	// Deterministic order: first-appearance order of keys.
+	if got[0].Key != "a" || got[1].Key != "b" || got[2].Key != "c" {
+		t.Fatalf("key order %v, want a b c", got)
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	docs := []string{"x y z", "z y", "w x y z", "q", "z q w"}
+	base := wordCount(Config{Workers: 1}, docs)
+	for _, w := range []int{2, 3, 8} {
+		got := wordCount(Config{Workers: w}, docs)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: result %d = %v, want %v", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	got := wordCount(Config{Workers: 4}, nil)
+	if len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+}
+
+func TestMapperEmittingNothing(t *testing.T) {
+	got := Run(Config{Workers: 2}, []int{1, 2, 3},
+		func(in int, emit func(int, int)) {},
+		func(k int, vs []int, emit func(int)) { emit(k) })
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReducerMultiEmit(t *testing.T) {
+	// A reducer may emit several results per key.
+	got := Run(Config{Workers: 2}, []int{5},
+		func(in int, emit func(string, int)) { emit("k", in) },
+		func(k string, vs []int, emit func(int)) {
+			for _, v := range vs {
+				emit(v)
+				emit(v * 10)
+			}
+		})
+	if len(got) != 2 || got[0] != 5 || got[1] != 50 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWorkersClampedToOne(t *testing.T) {
+	got := wordCount(Config{Workers: -3}, []string{"a a"})
+	if len(got) != 1 || got[0].Value != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGroupingPreservesValueOrderWithinInput(t *testing.T) {
+	// Values for a key arrive in input order (per-input emission order).
+	got := Run(Config{Workers: 1}, []int{0, 1, 2},
+		func(in int, emit func(string, int)) { emit("k", in) },
+		func(k string, vs []int, emit func([]int)) {
+			cp := append([]int(nil), vs...)
+			emit(cp)
+		})
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got[0] {
+		if v != i {
+			t.Fatalf("value order %v", got[0])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package sampling
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// ActiveAttack implements the *active* de-anonymization attack of Backstrom,
+// Dwork & Kleinberg (WWW 2007), which the paper's related work contrasts
+// with its passive setting: before the network is released, the attacker
+// plants k colluding accounts wired into a distinctive random pattern among
+// themselves, and each planted account befriends a few targeted real users.
+// After release the attacker re-locates the planted subgraph (trivial here
+// since the attacker knows the plant IDs) and uses it to identify the
+// targets' neighborhoods.
+//
+// In the reconciliation setting the planted accounts act as attacker-known
+// seeds: PlantedPairs returns the cross-copy identity of the plants, and an
+// experiment can measure how much of the network k plants identify — the
+// active-attack analogue of the seed links the model assumes.
+type ActiveAttackResult struct {
+	// Attacked is the input graph plus the planted subgraph; plant i has ID
+	// originalN + i.
+	Attacked *graph.Graph
+	// Plants lists the planted node IDs.
+	Plants []graph.NodeID
+	// Targets lists the real nodes each plant befriended.
+	Targets [][]graph.NodeID
+}
+
+// ActiveAttackParams configures the plant.
+type ActiveAttackParams struct {
+	// Plants is k, the number of colluding accounts.
+	Plants int
+	// InterPlantProb wires each plant pair independently (the distinctive
+	// pattern; 0.5 in the published attack).
+	InterPlantProb float64
+	// TargetsPerPlant is the number of real users each plant befriends.
+	TargetsPerPlant int
+}
+
+// DefaultActiveAttack mirrors the published construction: k plants with
+// i.i.d. half-density internal wiring, a handful of targets each.
+func DefaultActiveAttack(k int) ActiveAttackParams {
+	return ActiveAttackParams{Plants: k, InterPlantProb: 0.5, TargetsPerPlant: 3}
+}
+
+// PlanTargets draws each plant's target list over a population of n users.
+// The attacker plans ONE campaign and befriends the same users on every
+// network — that coordination is what turns the plants into cross-network
+// witnesses.
+func PlanTargets(r *xrand.Rand, n int, p ActiveAttackParams) [][]graph.NodeID {
+	if p.TargetsPerPlant < 0 {
+		panic("sampling: negative TargetsPerPlant")
+	}
+	targets := make([][]graph.NodeID, p.Plants)
+	for i := range targets {
+		for t := 0; t < p.TargetsPerPlant && n > 0; t++ {
+			targets[i] = append(targets[i], graph.NodeID(r.IntN(n)))
+		}
+	}
+	return targets
+}
+
+// ActiveAttack plants the attacker subgraph into g with freshly drawn
+// targets (single-network use). For the cross-network attack, draw targets
+// once with PlanTargets and use ActiveAttackWith on each copy.
+func ActiveAttack(r *xrand.Rand, g *graph.Graph, p ActiveAttackParams) *ActiveAttackResult {
+	return ActiveAttackWith(r, g, p, PlanTargets(r, g.NumNodes(), p))
+}
+
+// ActiveAttackWith plants the attacker subgraph into g using the given
+// per-plant target lists.
+func ActiveAttackWith(r *xrand.Rand, g *graph.Graph, p ActiveAttackParams, targets [][]graph.NodeID) *ActiveAttackResult {
+	if p.Plants < 0 {
+		panic("sampling: negative plant count")
+	}
+	if p.InterPlantProb < 0 || p.InterPlantProb > 1 {
+		panic("sampling: InterPlantProb outside [0,1]")
+	}
+	if len(targets) != p.Plants {
+		panic("sampling: target lists do not match plant count")
+	}
+	n := g.NumNodes()
+	b := graph.NewBuilder(n+p.Plants, g.NumEdges()+int64(p.Plants*p.Plants/2))
+	g.Edges(func(e graph.Edge) bool {
+		b.AddEdge(e.U, e.V)
+		return true
+	})
+	res := &ActiveAttackResult{Targets: targets}
+	for i := 0; i < p.Plants; i++ {
+		id := graph.NodeID(n + i)
+		b.EnsureNode(id)
+		res.Plants = append(res.Plants, id)
+	}
+	// Distinctive internal pattern.
+	for i := 0; i < p.Plants; i++ {
+		for j := i + 1; j < p.Plants; j++ {
+			if r.Bool(p.InterPlantProb) {
+				b.AddEdge(res.Plants[i], res.Plants[j])
+			}
+		}
+	}
+	// Targeted friendships.
+	for i := 0; i < p.Plants; i++ {
+		for _, tg := range targets[i] {
+			b.AddEdge(res.Plants[i], tg)
+		}
+	}
+	res.Attacked = b.Build()
+	return res
+}
+
+// PlantedPairs returns the cross-copy identity links of the plants, given
+// that both copies were attacked with the same parameters (the attacker
+// controls its accounts on both networks and knows which is which).
+func PlantedPairs(a1, a2 *ActiveAttackResult) []graph.Pair {
+	k := len(a1.Plants)
+	if len(a2.Plants) < k {
+		k = len(a2.Plants)
+	}
+	pairs := make([]graph.Pair, k)
+	for i := 0; i < k; i++ {
+		pairs[i] = graph.Pair{Left: a1.Plants[i], Right: a2.Plants[i]}
+	}
+	return pairs
+}

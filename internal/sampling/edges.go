@@ -1,0 +1,57 @@
+// Package sampling implements the paper's models for deriving the two
+// observed networks G1, G2 from the underlying "true" network G, plus the
+// seed-link and attack models:
+//
+//   - independent edge deletion (Section 3.1): each edge of G survives in
+//     copy i independently with probability s_i;
+//   - the Independent Cascade copy model (Section 5, Figure 3): each copy is
+//     the subgraph reached by an invitation cascade;
+//   - correlated community deletion (Section 5, Table 4): whole affiliation
+//     communities survive or die together in each copy;
+//   - timestamp splitting (Section 5, Table 5): copies take edges from
+//     disjoint time windows;
+//   - the sybil attack model (Section 5, "Robustness to attack");
+//   - seed link generation (each node linked across copies with probability l).
+package sampling
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// IndependentCopy returns a copy of g in which every edge survives
+// independently with probability s. Node IDs are preserved.
+func IndependentCopy(r *xrand.Rand, g *graph.Graph, s float64) *graph.Graph {
+	if s < 0 || s > 1 {
+		panic("sampling: survival probability outside [0,1]")
+	}
+	b := graph.NewBuilder(g.NumNodes(), int64(float64(g.NumEdges())*s)+16)
+	g.Edges(func(e graph.Edge) bool {
+		if r.Bool(s) {
+			b.AddEdge(e.U, e.V)
+		}
+		return true
+	})
+	return b.Build()
+}
+
+// IndependentCopies returns the two observed networks of the paper's basic
+// model: each edge of g survives in the first copy with probability s1 and,
+// independently, in the second with probability s2.
+func IndependentCopies(r *xrand.Rand, g *graph.Graph, s1, s2 float64) (*graph.Graph, *graph.Graph) {
+	if s1 < 0 || s1 > 1 || s2 < 0 || s2 > 1 {
+		panic("sampling: survival probability outside [0,1]")
+	}
+	b1 := graph.NewBuilder(g.NumNodes(), int64(float64(g.NumEdges())*s1)+16)
+	b2 := graph.NewBuilder(g.NumNodes(), int64(float64(g.NumEdges())*s2)+16)
+	g.Edges(func(e graph.Edge) bool {
+		if r.Bool(s1) {
+			b1.AddEdge(e.U, e.V)
+		}
+		if r.Bool(s2) {
+			b2.AddEdge(e.U, e.V)
+		}
+		return true
+	})
+	return b1.Build(), b2.Build()
+}

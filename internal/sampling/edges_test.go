@@ -1,0 +1,88 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestIndependentCopySurvivalRate(t *testing.T) {
+	r := xrand.New(1)
+	g := gen.ErdosRenyi(r, 1000, 0.02) // ~10k edges
+	for _, s := range []float64{0.25, 0.5, 0.75} {
+		c := IndependentCopy(r, g, s)
+		want := s * float64(g.NumEdges())
+		got := float64(c.NumEdges())
+		sd := math.Sqrt(want * (1 - s))
+		if math.Abs(got-want) > 6*sd {
+			t.Errorf("s=%v: edges %v, want %v ± %v", s, got, want, 6*sd)
+		}
+		// The copy's edges must be a subset of g's.
+		c.Edges(func(e graph.Edge) bool {
+			if !g.HasEdge(e.U, e.V) {
+				t.Fatalf("copy invented edge %v", e)
+			}
+			return true
+		})
+		if c.NumNodes() != g.NumNodes() {
+			t.Fatalf("copy changed node count: %d", c.NumNodes())
+		}
+	}
+}
+
+func TestIndependentCopyExtremes(t *testing.T) {
+	r := xrand.New(2)
+	g := gen.ErdosRenyi(r, 100, 0.1)
+	if c := IndependentCopy(r, g, 0); c.NumEdges() != 0 {
+		t.Fatal("s=0 should delete every edge")
+	}
+	if c := IndependentCopy(r, g, 1); c.NumEdges() != g.NumEdges() {
+		t.Fatal("s=1 should keep every edge")
+	}
+}
+
+func TestIndependentCopiesIndependent(t *testing.T) {
+	r := xrand.New(3)
+	g := gen.ErdosRenyi(r, 600, 0.05)
+	g1, g2 := IndependentCopies(r, g, 0.5, 0.5)
+	// P(edge in both copies) = 0.25; check the intersection rate.
+	x := graph.Intersection(g1, g2)
+	want := 0.25 * float64(g.NumEdges())
+	got := float64(x.NumEdges())
+	sd := math.Sqrt(want * 0.75)
+	if math.Abs(got-want) > 6*sd {
+		t.Fatalf("intersection edges %v, want %v ± %v", got, want, 6*sd)
+	}
+}
+
+func TestIndependentCopiesAsymmetric(t *testing.T) {
+	r := xrand.New(4)
+	g := gen.ErdosRenyi(r, 500, 0.05)
+	g1, g2 := IndependentCopies(r, g, 0.9, 0.1)
+	if g1.NumEdges() <= g2.NumEdges() {
+		t.Fatalf("s1=0.9 copy (%d edges) should dominate s2=0.1 copy (%d)", g1.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestSamplingPanics(t *testing.T) {
+	r := xrand.New(5)
+	g := gen.ErdosRenyi(r, 10, 0.5)
+	for _, f := range []func(){
+		func() { IndependentCopy(r, g, -0.1) },
+		func() { IndependentCopy(r, g, 1.1) },
+		func() { IndependentCopies(r, g, -0.1, 0.5) },
+		func() { IndependentCopies(r, g, 0.5, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,205 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestCommunityCopies(t *testing.T) {
+	r := xrand.New(1)
+	an := gen.Affiliation(r, gen.DefaultAffiliation(1500))
+	g1, g2 := CommunityCopies(r, an, 0.25, 150)
+	if g1.NumNodes() != an.Users || g2.NumNodes() != an.Users {
+		t.Fatal("copies must cover all users")
+	}
+	full := an.Fold(150)
+	// Copies hold roughly 75% of the full fold's edges (correlated within
+	// communities, so variance is high; just check the direction).
+	if g1.NumEdges() > full.NumEdges() || g2.NumEdges() > full.NumEdges() {
+		t.Fatal("copy has more edges than the full fold")
+	}
+	if g1.NumEdges() < full.NumEdges()/3 {
+		t.Fatalf("copy suspiciously sparse: %d of %d", g1.NumEdges(), full.NumEdges())
+	}
+}
+
+func TestCommunityCopiesDropAll(t *testing.T) {
+	r := xrand.New(2)
+	an := gen.Affiliation(r, gen.DefaultAffiliation(100))
+	g1, g2 := CommunityCopies(r, an, 1, 150)
+	if g1.NumEdges() != 0 || g2.NumEdges() != 0 {
+		t.Fatal("dropProb=1 must delete everything")
+	}
+}
+
+func TestCommunityCopiesPanics(t *testing.T) {
+	r := xrand.New(3)
+	an := gen.Affiliation(r, gen.DefaultAffiliation(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CommunityCopies(r, an, 1.5, 150)
+}
+
+func TestTimeSplit(t *testing.T) {
+	edges := []TemporalEdge{
+		{0, 1, 2010}, // even -> first
+		{1, 2, 2011}, // odd  -> second
+		{0, 1, 2012}, // duplicate in first
+		{2, 3, 2013},
+		{0, 3, 2014},
+	}
+	g1, g2 := TimeSplit(4, edges, EvenOdd)
+	if g1.NumEdges() != 2 { // {0,1}, {0,3}
+		t.Fatalf("g1 edges = %d", g1.NumEdges())
+	}
+	if g2.NumEdges() != 2 { // {1,2}, {2,3}
+		t.Fatalf("g2 edges = %d", g2.NumEdges())
+	}
+	if !g1.HasEdge(0, 1) || !g1.HasEdge(0, 3) || !g2.HasEdge(1, 2) || !g2.HasEdge(2, 3) {
+		t.Fatal("edges landed in the wrong copy")
+	}
+}
+
+func TestTimeSplitOverlap(t *testing.T) {
+	// A pair observed in both windows appears in both copies.
+	edges := []TemporalEdge{{0, 1, 2010}, {0, 1, 2011}}
+	g1, g2 := TimeSplit(2, edges, EvenOdd)
+	if !g1.HasEdge(0, 1) || !g2.HasEdge(0, 1) {
+		t.Fatal("repeated observation should appear in both copies")
+	}
+}
+
+func TestSybilAttack(t *testing.T) {
+	r := xrand.New(4)
+	g := gen.ErdosRenyi(r, 400, 0.05)
+	a := SybilAttack(r, g, 0.5)
+	n := g.NumNodes()
+	if a.NumNodes() != 2*n {
+		t.Fatalf("attacked nodes = %d, want %d", a.NumNodes(), 2*n)
+	}
+	// Original edges intact.
+	g.Edges(func(e graph.Edge) bool {
+		if !a.HasEdge(e.U, e.V) {
+			t.Fatalf("original edge %v lost under attack", e)
+		}
+		return true
+	})
+	// Each clone's neighbors are a subset of the original's, with rate ≈ 0.5.
+	var cloneDeg, origDeg int64
+	for v := 0; v < n; v++ {
+		clone := graph.NodeID(n + v)
+		for _, u := range a.Neighbors(clone) {
+			if !g.HasEdge(u, graph.NodeID(v)) {
+				t.Fatalf("clone %d linked to non-neighbor %d", clone, u)
+			}
+		}
+		cloneDeg += int64(a.Degree(clone))
+		origDeg += int64(g.Degree(graph.NodeID(v)))
+	}
+	rate := float64(cloneDeg) / float64(origDeg)
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("clone accept rate %v, want ≈ 0.5", rate)
+	}
+	// Clones never connect to clones.
+	for v := n; v < 2*n; v++ {
+		for _, u := range a.Neighbors(graph.NodeID(v)) {
+			if int(u) >= n {
+				t.Fatalf("clone-clone edge %d-%d", v, u)
+			}
+		}
+	}
+}
+
+func TestSybilAttackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SybilAttack(xrand.New(1), gen.ErdosRenyi(xrand.New(1), 5, 0.5), -1)
+}
+
+func TestSeedsRate(t *testing.T) {
+	r := xrand.New(5)
+	truth := graph.IdentityPairs(20000)
+	for _, l := range []float64{0.05, 0.1, 0.2} {
+		seeds := Seeds(r, truth, l)
+		want := l * float64(len(truth))
+		got := float64(len(seeds))
+		sd := math.Sqrt(want * (1 - l))
+		if math.Abs(got-want) > 6*sd {
+			t.Errorf("l=%v: %v seeds, want %v ± %v", l, got, want, 6*sd)
+		}
+		// Each seed is a ground-truth pair.
+		for _, s := range seeds {
+			if s.Left != s.Right {
+				t.Fatalf("seed %v is not an identity pair", s)
+			}
+		}
+	}
+}
+
+func TestSeedsExtremes(t *testing.T) {
+	r := xrand.New(6)
+	truth := graph.IdentityPairs(100)
+	if len(Seeds(r, truth, 0)) != 0 {
+		t.Fatal("l=0 must produce no seeds")
+	}
+	if len(Seeds(r, truth, 1)) != 100 {
+		t.Fatal("l=1 must reveal everything")
+	}
+	if got := Seeds(r, nil, 0.5); len(got) != 0 {
+		t.Fatal("empty truth must produce no seeds")
+	}
+}
+
+func TestSeedsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Seeds(xrand.New(1), nil, 2)
+}
+
+func TestDegreeBiasedSeeds(t *testing.T) {
+	r := xrand.New(7)
+	g := gen.PreferentialAttachment(r, 5000, 4)
+	g1, g2 := IndependentCopies(r, g, 0.8, 0.8)
+	truth := graph.IdentityPairs(g.NumNodes())
+	seeds := DegreeBiasedSeeds(r, truth, g1, g2, 0.1)
+	if len(seeds) == 0 {
+		t.Fatal("no seeds produced")
+	}
+	// Seeds must be biased toward high degree: mean seed degree above the
+	// graph's mean degree.
+	var seedDeg float64
+	for _, s := range seeds {
+		seedDeg += float64(g1.Degree(s.Left))
+	}
+	seedDeg /= float64(len(seeds))
+	stats := graph.ComputeStats(g1)
+	if seedDeg <= stats.AvgDegree {
+		t.Fatalf("mean seed degree %v not above average %v", seedDeg, stats.AvgDegree)
+	}
+	if got := DegreeBiasedSeeds(r, nil, g1, g2, 0.1); got != nil {
+		t.Fatal("empty truth should return nil")
+	}
+}
+
+func TestDegreeBiasedSeedsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := gen.ErdosRenyi(xrand.New(1), 5, 0.5)
+	DegreeBiasedSeeds(xrand.New(1), graph.IdentityPairs(5), g, g, -0.5)
+}

@@ -1,0 +1,97 @@
+package sampling
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// NoisyCopyParams configures the generalized copy model that Section 3.1
+// sketches but does not analyze: besides deleting edges, a copy may contain
+// "noise" edges absent from the underlying graph, and whole vertices may be
+// missing (users who never joined the service).
+type NoisyCopyParams struct {
+	// EdgeSurvival is s: each true edge survives independently.
+	EdgeSurvival float64
+	// NoiseEdgeFraction adds this fraction of |E| spurious uniform edges
+	// (dropped if they duplicate a surviving true edge).
+	NoiseEdgeFraction float64
+	// VertexDeletion removes each vertex (with all its edges) independently.
+	VertexDeletion float64
+}
+
+// NoisyCopy derives one observed network under the generalized model. Node
+// IDs are preserved; deleted vertices become isolated.
+func NoisyCopy(r *xrand.Rand, g *graph.Graph, p NoisyCopyParams) *graph.Graph {
+	if p.EdgeSurvival < 0 || p.EdgeSurvival > 1 {
+		panic("sampling: EdgeSurvival outside [0,1]")
+	}
+	if p.NoiseEdgeFraction < 0 {
+		panic("sampling: negative NoiseEdgeFraction")
+	}
+	if p.VertexDeletion < 0 || p.VertexDeletion > 1 {
+		panic("sampling: VertexDeletion outside [0,1]")
+	}
+	n := g.NumNodes()
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = !r.Bool(p.VertexDeletion)
+	}
+	b := graph.NewBuilder(n, g.NumEdges())
+	g.Edges(func(e graph.Edge) bool {
+		if alive[e.U] && alive[e.V] && r.Bool(p.EdgeSurvival) {
+			b.AddEdge(e.U, e.V)
+		}
+		return true
+	})
+	if n > 1 {
+		noise := int(float64(g.NumEdges()) * p.NoiseEdgeFraction)
+		for i := 0; i < noise; i++ {
+			u := r.IntN(n)
+			v := r.IntN(n - 1)
+			if v >= u {
+				v++
+			}
+			if alive[u] && alive[v] {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NoisyCopies derives the two observed networks under independent draws of
+// the same generalized model.
+func NoisyCopies(r *xrand.Rand, g *graph.Graph, p NoisyCopyParams) (*graph.Graph, *graph.Graph) {
+	return NoisyCopy(r, g, p), NoisyCopy(r, g, p)
+}
+
+// CorruptSeeds replaces each seed's right endpoint with a uniform random
+// node with probability flip — the wrong trusted links the paper observes
+// in Wikipedia's human-curated inter-language set. The result stays
+// injective on the right side by retrying collisions (and keeping the
+// original pair when no free target is found).
+func CorruptSeeds(r *xrand.Rand, seeds []graph.Pair, n2 int, flip float64) []graph.Pair {
+	if flip < 0 || flip > 1 {
+		panic("sampling: flip outside [0,1]")
+	}
+	used := make(map[graph.NodeID]bool, len(seeds))
+	for _, s := range seeds {
+		used[s.Right] = true
+	}
+	out := make([]graph.Pair, len(seeds))
+	for i, s := range seeds {
+		out[i] = s
+		if !r.Bool(flip) || n2 < 2 {
+			continue
+		}
+		for tries := 0; tries < 16; tries++ {
+			w := graph.NodeID(r.IntN(n2))
+			if w != s.Right && !used[w] {
+				out[i].Right = w
+				used[w] = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestNoisyCopyRates(t *testing.T) {
+	r := xrand.New(1)
+	g := gen.ErdosRenyi(r, 1500, 0.01)
+	p := NoisyCopyParams{EdgeSurvival: 0.6, NoiseEdgeFraction: 0.2, VertexDeletion: 0.1}
+	c := NoisyCopy(r, g, p)
+	if c.NumNodes() != g.NumNodes() {
+		t.Fatal("node space changed")
+	}
+	// Expected edges ≈ |E|·(0.9²·0.6 + 0.2·0.9²) (true survivors among
+	// surviving vertices plus noise among surviving vertices).
+	want := float64(g.NumEdges()) * (0.81*0.6 + 0.2*0.81)
+	got := float64(c.NumEdges())
+	if math.Abs(got-want) > want*0.15 {
+		t.Errorf("edges = %v, want ≈ %v", got, want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoisyCopyVertexDeletion(t *testing.T) {
+	r := xrand.New(2)
+	g := gen.PreferentialAttachment(r, 800, 6)
+	c := NoisyCopy(r, g, NoisyCopyParams{EdgeSurvival: 1, VertexDeletion: 0.5})
+	isolated := 0
+	for v := 0; v < c.NumNodes(); v++ {
+		if c.Degree(graph.NodeID(v)) == 0 {
+			isolated++
+		}
+	}
+	// Roughly half the vertices must be gone (isolated).
+	if isolated < 300 || isolated > 500 {
+		t.Errorf("isolated = %d, want ≈ 400", isolated)
+	}
+}
+
+func TestNoisyCopyNoNoiseNoDeletionIsIndependentCopy(t *testing.T) {
+	r := xrand.New(3)
+	g := gen.ErdosRenyi(r, 400, 0.05)
+	c := NoisyCopy(r, g, NoisyCopyParams{EdgeSurvival: 1})
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatal("s=1 with no noise should be the identity")
+	}
+	c.Edges(func(e graph.Edge) bool {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("invented edge %v", e)
+		}
+		return true
+	})
+}
+
+func TestNoisyCopyNoiseEdgesAreNew(t *testing.T) {
+	r := xrand.New(4)
+	g := gen.ErdosRenyi(r, 500, 0.02)
+	c := NoisyCopy(r, g, NoisyCopyParams{EdgeSurvival: 0, NoiseEdgeFraction: 0.5})
+	// All edges are noise; none required to exist in g, but count ≈ |E|/2.
+	want := float64(g.NumEdges()) * 0.5
+	got := float64(c.NumEdges())
+	if math.Abs(got-want) > want*0.2+5 {
+		t.Errorf("noise edges = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestNoisyCopyPanics(t *testing.T) {
+	r := xrand.New(5)
+	g := gen.ErdosRenyi(r, 10, 0.5)
+	for _, p := range []NoisyCopyParams{
+		{EdgeSurvival: -0.1},
+		{EdgeSurvival: 1.1},
+		{EdgeSurvival: 0.5, NoiseEdgeFraction: -1},
+		{EdgeSurvival: 0.5, VertexDeletion: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("params %+v did not panic", p)
+				}
+			}()
+			NoisyCopy(r, g, p)
+		}()
+	}
+}
+
+func TestNoisyCopiesIndependent(t *testing.T) {
+	r := xrand.New(6)
+	g := gen.PreferentialAttachment(r, 600, 8)
+	p := NoisyCopyParams{EdgeSurvival: 0.7, NoiseEdgeFraction: 0.05, VertexDeletion: 0.05}
+	g1, g2 := NoisyCopies(r, g, p)
+	if g1.NumEdges() == 0 || g2.NumEdges() == 0 {
+		t.Fatal("empty copies")
+	}
+	x := graph.Intersection(g1, g2)
+	if x.NumEdges() == 0 {
+		t.Fatal("copies share no edges")
+	}
+	if x.NumEdges() == g1.NumEdges() && x.NumEdges() == g2.NumEdges() {
+		t.Fatal("copies identical; independence broken")
+	}
+}
+
+func TestCorruptSeeds(t *testing.T) {
+	r := xrand.New(7)
+	truth := graph.IdentityPairs(2000)
+	seeds := Seeds(r, truth, 0.5)
+	out := CorruptSeeds(r, seeds, 2000, 0.1)
+	if len(out) != len(seeds) {
+		t.Fatalf("length changed: %d vs %d", len(out), len(seeds))
+	}
+	flipped := 0
+	seenR := map[graph.NodeID]bool{}
+	for i, s := range out {
+		if s.Left != seeds[i].Left {
+			t.Fatal("left endpoint changed")
+		}
+		if s.Right != seeds[i].Right {
+			flipped++
+		}
+		if seenR[s.Right] {
+			t.Fatalf("right endpoint %d duplicated", s.Right)
+		}
+		seenR[s.Right] = true
+	}
+	rate := float64(flipped) / float64(len(out))
+	if math.Abs(rate-0.1) > 0.03 {
+		t.Errorf("flip rate %.3f, want ≈ 0.1", rate)
+	}
+}
+
+func TestCorruptSeedsZeroFlip(t *testing.T) {
+	r := xrand.New(8)
+	seeds := Seeds(r, graph.IdentityPairs(100), 0.5)
+	out := CorruptSeeds(r, seeds, 100, 0)
+	for i := range out {
+		if out[i] != seeds[i] {
+			t.Fatal("flip=0 changed a seed")
+		}
+	}
+}
+
+func TestCorruptSeedsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CorruptSeeds(xrand.New(1), nil, 10, 1.5)
+}

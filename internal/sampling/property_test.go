@@ -1,0 +1,144 @@
+package sampling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// Property tests over the copy models: structural invariants that must hold
+// for every seed and parameter draw.
+
+func TestIndependentCopySubsetProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, sRaw uint8) bool {
+		s := float64(sRaw%101) / 100
+		r := xrand.New(seed)
+		g := gen.ErdosRenyi(r, 60, 0.2)
+		c := IndependentCopy(r, g, s)
+		if c.NumNodes() != g.NumNodes() {
+			return false
+		}
+		ok := true
+		c.Edges(func(e graph.Edge) bool {
+			if !g.HasEdge(e.U, e.V) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && c.Validate() == nil
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCascadeSubsetProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, pRaw uint8) bool {
+		p := float64(pRaw%101) / 100
+		r := xrand.New(seed)
+		g := gen.PreferentialAttachment(r, 80, 3)
+		c := CascadeCopy(r, g, HighestDegreeNode(g), p)
+		ok := true
+		c.Edges(func(e graph.Edge) bool {
+			if !g.HasEdge(e.U, e.V) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && c.Validate() == nil
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSybilAttackInvariants(t *testing.T) {
+	err := quick.Check(func(seed uint64, aRaw uint8) bool {
+		accept := float64(aRaw%101) / 100
+		r := xrand.New(seed)
+		g := gen.ErdosRenyi(r, 50, 0.15)
+		a := SybilAttack(r, g, accept)
+		n := g.NumNodes()
+		if a.NumNodes() != 2*n {
+			return false
+		}
+		// Clone edges only to true neighbors; no clone-clone edges.
+		for v := n; v < 2*n; v++ {
+			orig := graph.NodeID(v - n)
+			for _, u := range a.Neighbors(graph.NodeID(v)) {
+				if int(u) >= n {
+					return false
+				}
+				if !g.HasEdge(u, orig) {
+					return false
+				}
+			}
+		}
+		return a.Validate() == nil
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeSplitPartitionProperty(t *testing.T) {
+	// Every temporal event lands in exactly one copy, and the union of the
+	// two copies' edge sets equals the distinct event pairs.
+	err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		const n = 30
+		var events []TemporalEdge
+		for i := 0; i < 100; i++ {
+			u := graph.NodeID(r.IntN(n))
+			v := graph.NodeID(r.IntN(n))
+			if u == v {
+				continue
+			}
+			events = append(events, TemporalEdge{U: u, V: v, Time: r.IntN(20)})
+		}
+		g1, g2 := TimeSplit(n, events, EvenOdd)
+		union := graph.Union(g1, g2)
+		want := map[graph.Edge]bool{}
+		for _, e := range events {
+			want[graph.Edge{U: e.U, V: e.V}.Canonical()] = true
+		}
+		if int(union.NumEdges()) != len(want) {
+			return false
+		}
+		for e := range want {
+			if !union.HasEdge(e.U, e.V) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedsSubsetProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, lRaw uint8) bool {
+		l := float64(lRaw%101) / 100
+		r := xrand.New(seed)
+		truth := graph.IdentityPairs(200)
+		seeds := Seeds(r, truth, l)
+		if len(seeds) > len(truth) {
+			return false
+		}
+		for _, s := range seeds {
+			if s.Left != s.Right || int(s.Left) >= 200 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}

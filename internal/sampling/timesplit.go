@@ -1,0 +1,35 @@
+package sampling
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// TemporalEdge is an undirected edge observed at an integer time (a year for
+// DBLP, a month index for Gowalla). The same node pair may appear at many
+// times; it then lands in every copy whose window contains one of its
+// observations — exactly how the paper builds the even/odd-year DBLP graphs.
+type TemporalEdge struct {
+	U, V graph.NodeID
+	Time int
+}
+
+// TimeSplit partitions temporal edges into two graphs over n nodes: an edge
+// observed at time t goes to the first copy when inFirst(t) is true and to
+// the second otherwise. Self-loops and repeated observations are collapsed
+// by graph construction.
+func TimeSplit(n int, edges []TemporalEdge, inFirst func(t int) bool) (*graph.Graph, *graph.Graph) {
+	b1 := graph.NewBuilder(n, int64(len(edges))/2)
+	b2 := graph.NewBuilder(n, int64(len(edges))/2)
+	for _, e := range edges {
+		if inFirst(e.Time) {
+			b1.AddEdge(e.U, e.V)
+		} else {
+			b2.AddEdge(e.U, e.V)
+		}
+	}
+	return b1.Build(), b2.Build()
+}
+
+// EvenOdd reports whether t is even; the predicate the paper uses to split
+// DBLP by publication year ("publications written in even years" vs odd).
+func EvenOdd(t int) bool { return t%2 == 0 }

@@ -1,0 +1,103 @@
+// Package theory implements the closed-form quantities from Section 4 of the
+// paper — expected similarity-witness counts, Chernoff envelopes, and the
+// parameter-regime predicates of the theorems — so that tests and
+// experiments can check the implementation against the mathematics rather
+// than against magic numbers.
+package theory
+
+import "math"
+
+// ERModel bundles the parameters of the Erdős–Rényi analysis (Section 4.1):
+// underlying graph G(n, p), edge survival s in each copy, link probability l.
+type ERModel struct {
+	N int
+	P float64
+	S float64
+	L float64
+}
+
+// ExpectedTrueWitnesses returns E[witnesses(u_i, v_i)] in the first phase:
+// (n-1)·p·s²·l — each of the other n-1 nodes is a neighbor with probability
+// p, survives in both copies with probability s², and is seeded with
+// probability l.
+func (m ERModel) ExpectedTrueWitnesses() float64 {
+	return float64(m.N-1) * m.P * m.S * m.S * m.L
+}
+
+// ExpectedFalseWitnesses returns E[witnesses(u_i, v_j)], i≠j, in the first
+// phase: (n-2)·p²·s²·l — the extra factor p because a third node must be
+// adjacent to both i and j.
+func (m ERModel) ExpectedFalseWitnesses() float64 {
+	return float64(m.N-2) * m.P * m.P * m.S * m.S * m.L
+}
+
+// Theorem1Applies reports whether the parameters are in Theorem 1's regime,
+// (n-2)·p·s²·l >= 24·ln n, where the gap between true and false witness
+// counts separates w.h.p. (The paper's log is natural — the Chernoff
+// exponents are base e.)
+func (m ERModel) Theorem1Applies() bool {
+	return float64(m.N-2)*m.P*m.S*m.S*m.L >= 24*math.Log(float64(m.N))
+}
+
+// ConnectivityThresholdP returns the smallest p such that each copy stays
+// connected w.h.p.: n·p·s >= c·ln n, i.e. p = c·ln n / (n·s). The paper
+// assumes nps > c·log n throughout.
+func ConnectivityThresholdP(n int, s, c float64) float64 {
+	return c * math.Log(float64(n)) / (float64(n) * s)
+}
+
+// ChernoffLowerTail bounds P[X < (1-δ)μ] <= exp(-μδ²/2) for a sum of
+// independent Bernoulli variables with mean μ.
+func ChernoffLowerTail(mu, delta float64) float64 {
+	if delta < 0 || delta > 1 {
+		panic("theory: ChernoffLowerTail requires δ in [0,1]")
+	}
+	return math.Exp(-mu * delta * delta / 2)
+}
+
+// ChernoffUpperTail bounds P[X > (1+δ)μ] <= exp(-μδ²/4) for δ in (0, 2e-1),
+// the form used in Theorem 1's proof.
+func ChernoffUpperTail(mu, delta float64) float64 {
+	if delta <= 0 {
+		panic("theory: ChernoffUpperTail requires δ > 0")
+	}
+	return math.Exp(-mu * delta * delta / 4)
+}
+
+// PAModel bundles the preferential attachment parameters of Section 4.2.
+type PAModel struct {
+	N int
+	M int
+	S float64
+	L float64
+}
+
+// HighDegreeThreshold returns the degree above which Lemma 11 guarantees
+// identification: 4·log²n / (s²·l).
+func (m PAModel) HighDegreeThreshold() float64 {
+	ln := math.Log(float64(m.N))
+	return 4 * ln * ln / (m.S * m.S * m.L)
+}
+
+// Lemma12Applies reports whether m·s² >= 22, the regime in which the paper
+// proves 97% identification.
+func (m PAModel) Lemma12Applies() bool {
+	return float64(m.M)*m.S*m.S >= 22
+}
+
+// ExpectedGoodEdges returns the expected number of "good" edges of a new
+// node in Lemma 12's induction: m·s²·(0.99·0.92) — edges that survive both
+// copies and land on an already-identified earlier node.
+func (m PAModel) ExpectedGoodEdges() float64 {
+	return float64(m.M) * m.S * m.S * 0.99 * 0.92
+}
+
+// MapReduceRounds returns the paper's round count O(k·log D): with k sweeps
+// and max degree d, 4 MapReduce rounds per bucket.
+func MapReduceRounds(k, maxDegree int) int {
+	if maxDegree < 2 {
+		maxDegree = 2
+	}
+	logD := int(math.Floor(math.Log2(float64(maxDegree))))
+	return 4 * k * logD
+}

@@ -1,0 +1,141 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/core"
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/sampling"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+func TestERExpectations(t *testing.T) {
+	m := ERModel{N: 1000, P: 0.1, S: 0.5, L: 0.2}
+	wantTrue := 999 * 0.1 * 0.25 * 0.2
+	if got := m.ExpectedTrueWitnesses(); math.Abs(got-wantTrue) > 1e-9 {
+		t.Fatalf("true witnesses = %v, want %v", got, wantTrue)
+	}
+	wantFalse := 998 * 0.01 * 0.25 * 0.2
+	if got := m.ExpectedFalseWitnesses(); math.Abs(got-wantFalse) > 1e-9 {
+		t.Fatalf("false witnesses = %v, want %v", got, wantFalse)
+	}
+	// The factor-of-p gap of Section 4.1.
+	ratio := m.ExpectedFalseWitnesses() / m.ExpectedTrueWitnesses()
+	if math.Abs(ratio-m.P*998/999) > 1e-9 {
+		t.Fatalf("gap ratio = %v, want ≈ p", ratio)
+	}
+}
+
+func TestTheorem1Regime(t *testing.T) {
+	in := ERModel{N: 10000, P: 0.1, S: 0.8, L: 0.5}
+	if !in.Theorem1Applies() {
+		t.Error("dense regime should satisfy Theorem 1")
+	}
+	out := ERModel{N: 10000, P: 0.0001, S: 0.5, L: 0.05}
+	if out.Theorem1Applies() {
+		t.Error("sparse regime should not satisfy Theorem 1")
+	}
+}
+
+func TestConnectivityThreshold(t *testing.T) {
+	p := ConnectivityThresholdP(10000, 0.5, 1)
+	if p <= 0 || p >= 1 {
+		t.Fatalf("threshold p = %v", p)
+	}
+	// n·p·s == c·ln n by construction.
+	if got := 10000 * p * 0.5; math.Abs(got-math.Log(10000)) > 1e-9 {
+		t.Fatalf("nps = %v, want ln n = %v", got, math.Log(10000))
+	}
+}
+
+func TestChernoffBounds(t *testing.T) {
+	if got := ChernoffLowerTail(100, 0.5); got >= 1e-5 {
+		t.Fatalf("lower tail = %v; should be tiny", got)
+	}
+	if got := ChernoffUpperTail(100, 0.5); got >= 1e-2 {
+		t.Fatalf("upper tail = %v; should be small", got)
+	}
+	for _, f := range []func(){
+		func() { ChernoffLowerTail(10, -0.1) },
+		func() { ChernoffLowerTail(10, 1.1) },
+		func() { ChernoffUpperTail(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPAModel(t *testing.T) {
+	m := PAModel{N: 1000000, M: 20, S: 0.5, L: 0.1}
+	if m.Lemma12Applies() {
+		t.Error("ms² = 5 should not satisfy Lemma 12")
+	}
+	m2 := PAModel{N: 1000000, M: 50, S: 0.7, L: 0.1}
+	if !m2.Lemma12Applies() {
+		t.Error("ms² = 24.5 should satisfy Lemma 12")
+	}
+	if m.HighDegreeThreshold() <= 0 {
+		t.Error("high degree threshold must be positive")
+	}
+	if m.ExpectedGoodEdges() >= float64(m.M) {
+		t.Error("good edges cannot exceed m")
+	}
+}
+
+func TestMapReduceRounds(t *testing.T) {
+	if got := MapReduceRounds(2, 1024); got != 4*2*10 {
+		t.Fatalf("rounds = %d, want 80", got)
+	}
+	if got := MapReduceRounds(1, 1); got != 4 {
+		t.Fatalf("degenerate rounds = %d, want 4", got)
+	}
+}
+
+// Empirical validation of the Theorem 1 gap: measured first-phase witness
+// counts for true pairs concentrate near (n-1)ps²l, and false-pair counts
+// stay below half the true mean — the separation the algorithm exploits.
+func TestTheorem1GapEmpirically(t *testing.T) {
+	model := ERModel{N: 2000, P: 0.3, S: 0.7, L: 0.75}
+	if !model.Theorem1Applies() {
+		t.Fatal("test parameters must be in Theorem 1's regime")
+	}
+	r := xrand.New(1)
+	g := gen.ErdosRenyi(r, model.N, model.P)
+	g1, g2 := sampling.IndependentCopies(r, g, model.S, model.S)
+	seeds := sampling.Seeds(r, graph.IdentityPairs(model.N), model.L)
+	m, err := core.NewMatching(model.N, model.N, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := model.ExpectedTrueWitnesses()
+	half := int(mu / 2)
+	lowTrue, highFalse := 0, 0
+	const sample = 150
+	for i := 0; i < sample; i++ {
+		v := graph.NodeID(r.IntN(model.N))
+		if got := core.SimilarityWitnesses(g1, g2, m, v, v); got < half {
+			lowTrue++
+		}
+		w := graph.NodeID(r.IntN(model.N))
+		if w == v {
+			w = (w + 1) % graph.NodeID(model.N)
+		}
+		if got := core.SimilarityWitnesses(g1, g2, m, v, w); got >= half {
+			highFalse++
+		}
+	}
+	if lowTrue > 2 {
+		t.Errorf("%d/%d true pairs below half the expected witness count", lowTrue, sample)
+	}
+	if highFalse > 2 {
+		t.Errorf("%d/%d false pairs above half the expected witness count", highFalse, sample)
+	}
+}

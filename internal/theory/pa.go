@@ -1,0 +1,104 @@
+package theory
+
+import (
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// Empirical counterparts of the structural lemmas of Section 4.2. Each
+// function measures, on a concrete preferential attachment graph, the
+// quantity the corresponding lemma bounds; the tests check the lemma's
+// direction at finite size. The raw arrival-ordered edge list produced by
+// gen.PAWithEnds carries the timing information the lemmas quantify over.
+
+// LateArrivalMaxDegree returns the maximum final degree among nodes that
+// arrived after time ψ·n. Lemma 5 ("high degree nodes are early-birds")
+// proves this is o(log²n) w.h.p. for any constant ψ > 0.
+func LateArrivalMaxDegree(g *graph.Graph, psi float64) int {
+	n := g.NumNodes()
+	start := int(psi * float64(n))
+	maxd := 0
+	for v := start; v < n; v++ {
+		if d := g.Degree(graph.NodeID(v)); d > maxd {
+			maxd = d
+		}
+	}
+	return maxd
+}
+
+// LateNeighborFraction returns, for node v, the fraction of its multigraph
+// neighbors (one per raw edge, self-loops excluded) that arrived after time
+// ε·n; in the PA construction a node's ID is its arrival time. Lemma 6
+// ("the rich get richer") proves that every node of final degree ≥ log²n
+// has at least ~1/3 of its neighbors arriving after εn. rawEdges must come
+// from gen.PAWithEnds.
+func LateNeighborFraction(rawEdges []graph.Edge, n int, v graph.NodeID, eps float64) float64 {
+	cutoff := graph.NodeID(eps * float64(n))
+	var total, late int
+	for _, e := range rawEdges {
+		if e.U == e.V {
+			continue // self-loop: no neighbor
+		}
+		var other graph.NodeID
+		switch {
+		case e.U == v:
+			other = e.V
+		case e.V == v:
+			other = e.U
+		default:
+			continue
+		}
+		total++
+		if other >= cutoff {
+			late++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(late) / float64(total)
+}
+
+// EarlyBirdMinDegree returns the minimum final degree among the first k
+// nodes. Lemma 7 ("first-mover advantage") proves nodes arriving before
+// n^0.3 reach degree ≥ log³n w.h.p.
+func EarlyBirdMinDegree(g *graph.Graph, k int) int {
+	if k > g.NumNodes() {
+		k = g.NumNodes()
+	}
+	mind := -1
+	for v := 0; v < k; v++ {
+		d := g.Degree(graph.NodeID(v))
+		if mind < 0 || d < mind {
+			mind = d
+		}
+	}
+	if mind < 0 {
+		return 0
+	}
+	return mind
+}
+
+// MaxSharedNeighbors returns the largest |N(u) ∩ N(v)| over sampled pairs
+// of distinct nodes both of degree < degCap. Lemma 10 proves that in PA
+// graphs, pairs of nodes below polylog degree share at most 8 neighbors
+// w.h.p. — the fact that makes threshold 9 error-free in the analysis.
+// The sample slice holds the node IDs to examine pairwise.
+func MaxSharedNeighbors(g *graph.Graph, sample []graph.NodeID, degCap int) int {
+	maxShared := 0
+	for i := 0; i < len(sample); i++ {
+		u := sample[i]
+		if g.Degree(u) >= degCap {
+			continue
+		}
+		for j := i + 1; j < len(sample); j++ {
+			v := sample[j]
+			if g.Degree(v) >= degCap {
+				continue
+			}
+			if c := g.CommonNeighborCount(u, v); c > maxShared {
+				maxShared = c
+			}
+		}
+	}
+	return maxShared
+}

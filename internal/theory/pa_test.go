@@ -1,0 +1,123 @@
+package theory
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/gen"
+	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// Empirical checks of the Section 4.2 structural lemmas on finite PA graphs.
+// These are direction checks, not w.h.p. proofs: the constants in the paper
+// are asymptotic, so each test asserts the qualitative separation the lemma
+// establishes, at a size a unit test can afford.
+
+func TestLemma5EarlyBirds(t *testing.T) {
+	// Nodes arriving after ψn = n/2 must have degree far below the top
+	// degree (o(log²n) vs the early core's polynomial degrees).
+	g := gen.PreferentialAttachment(xrand.New(1), 30000, 5)
+	lateMax := LateArrivalMaxDegree(g, 0.5)
+	logn := math.Log2(float64(g.NumNodes()))
+	if float64(lateMax) > 3*logn*logn {
+		t.Errorf("late arrival max degree %d exceeds 3·log²n = %.0f", lateMax, 3*logn*logn)
+	}
+	if lateMax >= g.MaxDegree()/4 {
+		t.Errorf("late max degree %d too close to global max %d", lateMax, g.MaxDegree())
+	}
+}
+
+func TestLemma6RichGetRicher(t *testing.T) {
+	// High-degree nodes keep acquiring neighbors late in the process: a
+	// sizable fraction of their (multigraph) neighbors arrive after εn.
+	r := xrand.New(2)
+	n, m := 20000, 5
+	g, raw := gen.PAWithEnds(r, n, m)
+	logn := math.Log2(float64(n))
+	minDeg := int(logn * logn / 2)
+	checked := 0
+	for v := 0; v < 200 && checked < 20; v++ {
+		if g.Degree(graph.NodeID(v)) < minDeg {
+			continue
+		}
+		checked++
+		frac := LateNeighborFraction(raw, n, graph.NodeID(v), 0.1)
+		// Lemma 6's bound is 1/3 after εn for ε as a constant; allow a
+		// generous floor at finite size.
+		if frac < 0.2 {
+			t.Errorf("node %d (degree %d): only %.2f of neighbors arrived after 0.1n",
+				v, g.Degree(graph.NodeID(v)), frac)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no node reached log²n/2 degree at this size")
+	}
+}
+
+func TestLemma7FirstMovers(t *testing.T) {
+	// Nodes arriving before n^0.3 end with degree well above the median.
+	r := xrand.New(3)
+	n := 30000
+	g := gen.PreferentialAttachment(r, n, 5)
+	k := int(math.Pow(float64(n), 0.3))
+	mind := EarlyBirdMinDegree(g, k)
+	med := graph.ComputeStats(g).MedDegree
+	if mind <= 2*med {
+		t.Errorf("earliest %d nodes: min degree %d not well above median %d", k, mind, med)
+	}
+}
+
+func TestLemma10SharedNeighborsBounded(t *testing.T) {
+	// Two nodes of polylog degree share very few neighbors — the fact that
+	// lets threshold 9 avoid all errors in the PA analysis. Sample pairs of
+	// mid/low-degree nodes and check the maximum overlap stays single-digit.
+	r := xrand.New(4)
+	n := 20000
+	g := gen.PreferentialAttachment(r, n, 5)
+	logn := math.Log(float64(n))
+	degCap := int(logn * logn * logn) // log³n, the lemma's regime
+	var sample []graph.NodeID
+	for i := 0; i < 400; i++ {
+		sample = append(sample, graph.NodeID(n/2+r.IntN(n/2)))
+	}
+	got := MaxSharedNeighbors(g, sample, degCap)
+	if got > 8 {
+		t.Errorf("sampled low-degree pair shares %d neighbors; Lemma 10 bounds this by 8", got)
+	}
+}
+
+func TestEarlyBirdMinDegreeEdgeCases(t *testing.T) {
+	g := gen.PreferentialAttachment(xrand.New(5), 100, 3)
+	if got := EarlyBirdMinDegree(g, 0); got != 0 {
+		t.Errorf("k=0: %d", got)
+	}
+	if got := EarlyBirdMinDegree(g, 1000); got <= 0 {
+		t.Errorf("k>n should clamp and return a real degree, got %d", got)
+	}
+}
+
+func TestLateArrivalMaxDegreeWholeGraph(t *testing.T) {
+	g := gen.PreferentialAttachment(xrand.New(6), 1000, 3)
+	if got := LateArrivalMaxDegree(g, 0); got != g.MaxDegree() {
+		t.Errorf("psi=0 must scan everything: %d vs %d", got, g.MaxDegree())
+	}
+}
+
+func TestDegreeDistributionTail(t *testing.T) {
+	// Cross-check the PA degree tail against the theoretical P(deg >= d) ~
+	// d^-2 decay: the 99th percentile degree should be roughly 10x the
+	// median (it would be ~1x for a binomial graph).
+	g := gen.PreferentialAttachment(xrand.New(7), 30000, 5)
+	degs := make([]int, g.NumNodes())
+	for v := range degs {
+		degs[v] = g.Degree(graph.NodeID(v))
+	}
+	sort.Ints(degs)
+	p50 := degs[len(degs)/2]
+	p99 := degs[len(degs)*99/100]
+	if p99 < 4*p50 {
+		t.Errorf("p99/p50 = %d/%d; tail too light for PA", p99, p50)
+	}
+}

@@ -1,0 +1,208 @@
+// Package xrand provides deterministic, splittable pseudo-randomness for the
+// reconciliation experiments.
+//
+// Every generator in this package is seeded explicitly, so a whole experiment
+// — graph generation, copy sampling, seed selection, matching — is a pure
+// function of its seed. Child streams derived with Split are statistically
+// independent of the parent and of each other, which lets parallel workers
+// draw randomness without locks while keeping runs reproducible.
+package xrand
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Rand is a deterministic random stream. It wraps the standard PCG source
+// with experiment-oriented helpers (Bernoulli, Binomial, Zipf, permutations).
+type Rand struct {
+	src *rand.Rand
+	// state used for deriving child seeds; advanced by Split.
+	splitState uint64
+}
+
+// New returns a stream seeded from seed. Two streams created with the same
+// seed produce identical sequences.
+func New(seed uint64) *Rand {
+	lo, hi := splitMix64(seed), splitMix64(seed+0x9e3779b97f4a7c15)
+	return &Rand{
+		src:        rand.New(rand.NewPCG(lo, hi)),
+		splitState: splitMix64(seed ^ 0xd1342543de82ef95),
+	}
+}
+
+// splitMix64 is the SplitMix64 finalizer; it turns correlated seeds into
+// well-distributed ones.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Split derives a child stream. Successive calls yield independent children;
+// the parent stream's future output is unaffected by how many children are
+// split off (the split state is separate from the draw state).
+func (r *Rand) Split() *Rand {
+	r.splitState = splitMix64(r.splitState)
+	return New(r.splitState)
+}
+
+// Uint64 returns a uniformly random 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Int64N returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int64N(n int64) int64 { return r.src.Int64N(n) }
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) IntN(n int) int { return r.src.IntN(n) }
+
+// Uint32N returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint32N(n uint32) uint32 { return r.src.Uint32N(n) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Binomial draws from Binomial(n, p). For small n it sums Bernoulli trials;
+// for large n it uses the normal approximation clamped to [0, n], which is
+// accurate enough for workload generation (we never test exact binomial
+// tails against it).
+func (r *Rand) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(mean + sd*r.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// NormFloat64 returns a standard normal variate.
+func (r *Rand) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 { return r.src.ExpFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle randomizes the order of n elements using the provided swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Geometric returns a draw from the geometric distribution on {0,1,2,...}
+// with success probability p: the number of failures before the first
+// success. It panics if p is not in (0, 1].
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric requires p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := r.src.Float64()
+	return int(math.Floor(math.Log1p(-u) / math.Log1p(-p)))
+}
+
+// SampleK fills dst with a uniform sample without replacement from [0, n)
+// using Floyd's algorithm. len(dst) must be <= n. The result order is
+// unspecified but deterministic for a given stream state.
+func (r *Rand) SampleK(dst []int, n int) {
+	k := len(dst)
+	if k > n {
+		panic("xrand: SampleK with k > n")
+	}
+	seen := make(map[int]struct{}, k)
+	i := 0
+	for j := n - k; j < n; j++ {
+		t := r.IntN(j + 1)
+		if _, dup := seen[t]; dup {
+			t = j
+		}
+		seen[t] = struct{}{}
+		dst[i] = t
+		i++
+	}
+}
+
+// Zipf is a bounded Zipf(s, v, imax) sampler over {0, ..., imax}.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf sampler. s > 1 is the exponent, v >= 1 shifts the
+// distribution, imax is the largest value returned.
+func (r *Rand) NewZipf(s, v float64, imax uint64) *Zipf {
+	return &Zipf{z: rand.NewZipf(r.src, s, v, imax)}
+}
+
+// Uint64 draws the next Zipf value.
+func (z *Zipf) Uint64() uint64 { return z.z.Uint64() }
+
+// PowerLawDegrees samples n integer degrees from a discrete power law with
+// the given exponent alpha (> 1), truncated to [dmin, dmax]. The returned
+// sequence has an even sum (a requirement of configuration-model graph
+// construction); if the raw sum is odd the first entry is incremented.
+func (r *Rand) PowerLawDegrees(n, dmin, dmax int, alpha float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	if dmin < 1 || dmax < dmin {
+		panic("xrand: PowerLawDegrees requires 1 <= dmin <= dmax")
+	}
+	if alpha <= 1 {
+		panic("xrand: PowerLawDegrees requires alpha > 1")
+	}
+	// Inverse-CDF sampling of a continuous power law, rounded down, which is
+	// the standard discrete approximation.
+	degs := make([]int, n)
+	sum := 0
+	a := 1 - alpha
+	lo := math.Pow(float64(dmin), a)
+	hi := math.Pow(float64(dmax)+1, a)
+	for i := range degs {
+		u := r.Float64()
+		x := math.Pow(lo+u*(hi-lo), 1/a)
+		d := int(x)
+		if d < dmin {
+			d = dmin
+		}
+		if d > dmax {
+			d = dmax
+		}
+		degs[i] = d
+		sum += d
+	}
+	if sum%2 == 1 {
+		degs[0]++
+	}
+	return degs
+}

@@ -1,0 +1,311 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with identical seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agreed on %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// The parent's draw sequence must be unaffected by splitting children.
+	p1 := New(7)
+	want := make([]uint64, 10)
+	for i := range want {
+		want[i] = p1.Uint64()
+	}
+	p2 := New(7)
+	c1 := p2.Split()
+	c2 := p2.Split()
+	for i := range want {
+		if got := p2.Uint64(); got != want[i] {
+			t.Fatalf("split changed parent stream at draw %d", i)
+		}
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling children produced identical first draws (suspicious)")
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split children of identical parents diverged at %d", i)
+		}
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolRate(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bool(%v) empirical rate %v, want within 0.01", p, got)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(17)
+	cases := []struct {
+		n int
+		p float64
+	}{{10, 0.3}, {64, 0.5}, {1000, 0.02}, {5000, 0.7}}
+	for _, c := range cases {
+		const trials = 2000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			k := r.Binomial(c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, k)
+			}
+			sum += k
+		}
+		mean := float64(sum) / trials
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(want * (1 - c.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(trials)+0.5 {
+			t.Errorf("Binomial(%d,%v) mean %v, want ≈ %v", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(5)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0,0.5) = %d", got)
+	}
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10,0) = %d", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10,1) = %d", got)
+	}
+	if got := r.Binomial(-3, 0.5); got != 0 {
+		t.Errorf("Binomial(-3,0.5) = %d", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(23)
+	p := 0.2
+	const trials = 100000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		g := r.Geometric(p)
+		if g < 0 {
+			t.Fatalf("Geometric returned negative %d", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / trials
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("Geometric(%v) mean %v, want ≈ %v", p, mean, want)
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	r := New(1)
+	for _, p := range []float64{0, -1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%v) did not panic", p)
+				}
+			}()
+			r.Geometric(p)
+		}()
+	}
+	if got := r.Geometric(1); got != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", got)
+	}
+}
+
+func TestSampleK(t *testing.T) {
+	r := New(31)
+	for _, k := range []int{0, 1, 5, 50} {
+		dst := make([]int, k)
+		r.SampleK(dst, 50)
+		seen := map[int]bool{}
+		for _, v := range dst {
+			if v < 0 || v >= 50 {
+				t.Fatalf("SampleK produced out-of-range value %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("SampleK produced duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleKPanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleK(k>n) did not panic")
+		}
+	}()
+	New(1).SampleK(make([]int, 5), 3)
+}
+
+func TestSampleKUniform(t *testing.T) {
+	// Each element of [0,10) should appear in a 5-subset with prob 1/2.
+	r := New(37)
+	counts := make([]int, 10)
+	const trials = 20000
+	dst := make([]int, 5)
+	for i := 0; i < trials; i++ {
+		r.SampleK(dst, 10)
+		for _, v := range dst {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-0.5) > 0.02 {
+			t.Errorf("element %d sampled with rate %v, want ≈ 0.5", v, got)
+		}
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	r := New(41)
+	degs := r.PowerLawDegrees(10000, 2, 500, 2.5)
+	if len(degs) != 10000 {
+		t.Fatalf("len = %d", len(degs))
+	}
+	sum := 0
+	for _, d := range degs {
+		if d < 2 || d > 500+1 { // +1 allows the parity fix on degs[0]
+			t.Fatalf("degree %d outside [2, 501]", d)
+		}
+		sum += d
+	}
+	if sum%2 != 0 {
+		t.Errorf("degree sum %d is odd", sum)
+	}
+	// A power law with alpha 2.5 must be strongly skewed: the median should
+	// sit at the minimum degree while the max is much larger.
+	maxd := 0
+	atMin := 0
+	for _, d := range degs {
+		if d > maxd {
+			maxd = d
+		}
+		if d == 2 {
+			atMin++
+		}
+	}
+	if atMin < len(degs)/3 {
+		t.Errorf("only %d/%d nodes at dmin; distribution not skewed", atMin, len(degs))
+	}
+	if maxd < 50 {
+		t.Errorf("max degree %d too small for a power-law tail", maxd)
+	}
+}
+
+func TestPowerLawDegreesPanics(t *testing.T) {
+	r := New(1)
+	cases := []struct {
+		n, dmin, dmax int
+		alpha         float64
+	}{{10, 0, 5, 2.0}, {10, 3, 2, 2.0}, {10, 1, 5, 1.0}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PowerLawDegrees(%+v) did not panic", c)
+				}
+			}()
+			r.PowerLawDegrees(c.n, c.dmin, c.dmax, c.alpha)
+		}()
+	}
+	if got := r.PowerLawDegrees(0, 1, 5, 2.0); got != nil {
+		t.Errorf("PowerLawDegrees(0,...) = %v, want nil", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, n8 uint8) bool {
+		n := int(n8%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(53)
+	z := r.NewZipf(1.5, 1, 1000)
+	zeroes := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if z.Uint64() == 0 {
+			zeroes++
+		}
+	}
+	if zeroes < trials/4 {
+		t.Errorf("Zipf(1.5) returned 0 only %d/%d times; expected heavy head", zeroes, trials)
+	}
+}
