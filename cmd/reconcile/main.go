@@ -4,7 +4,11 @@
 // Usage:
 //
 //	reconcile -g1 network1.txt -g2 network2.txt -seeds seeds.txt \
-//	    -threshold 2 -iterations 2 -out links.txt
+//	    -threshold 2 -iterations 2 -timeout 30s -out links.txt
+//
+// -timeout bounds the whole run (the matcher stops at the next bucket
+// boundary and the command exits non-zero); -progress streams per-bucket
+// statistics to stderr.
 //
 // Graph files are SNAP-style edge lists ("u v" per line, '#' comments).
 // Node IDs may be arbitrary; they are densified per file, and the seed file
@@ -14,9 +18,12 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/sociograph/reconcile"
 )
@@ -34,6 +41,8 @@ func main() {
 		ties       = flag.String("ties", "reject", "tie policy: reject (conservative) or lowest-id (greedy)")
 		scoring    = flag.String("scoring", "count", "candidate ranking: count (paper) or adamic-adar")
 		margin     = flag.Int("margin", 0, "required witness-count gap over the runner-up")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit; not honored by the mapreduce engine)")
+		progress   = flag.Bool("progress", false, "log each bucket pass to stderr as it completes")
 		out        = flag.String("out", "", "output links file (default stdout)")
 	)
 	flag.Parse()
@@ -81,14 +90,43 @@ func main() {
 		fatal(fmt.Errorf("unknown scoring %q", *scoring))
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *reconcile.Result
 	switch *engine {
-	case "parallel":
-		res, err = reconcile.Reconcile(g1, g2, seeds, opts)
-	case "sequential":
-		opts.Engine = reconcile.EngineSequential
-		res, err = reconcile.Reconcile(g1, g2, seeds, opts)
+	case "parallel", "sequential":
+		if *engine == "sequential" {
+			opts.Engine = reconcile.EngineSequential
+		}
+		ropts := []reconcile.Option{reconcile.WithOptions(opts), reconcile.WithSeeds(seeds)}
+		if *progress {
+			start := time.Now()
+			ropts = append(ropts, reconcile.WithProgress(func(e reconcile.PhaseEvent) {
+				fmt.Fprintf(os.Stderr, "reconcile: [%6.2fs] sweep %d bucket %d/%d (degree >= %d): +%d links (total %d)\n",
+					time.Since(start).Seconds(), e.Iteration, e.Bucket, e.Buckets, e.MinDegree, e.Matched, e.TotalLinks)
+			}))
+		}
+		rec, err2 := reconcile.New(g1, g2, ropts...)
+		if err2 != nil {
+			fatal(err2)
+		}
+		res, err = rec.Run(ctx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "reconcile: deadline exceeded: run aborted after %v with %d links (%d discovered); rerun with a larger -timeout\n",
+				*timeout, len(res.Pairs), len(res.NewPairs))
+			os.Exit(1)
+		}
 	case "mapreduce":
+		// The MapReduce formulation is batch-only: -timeout and -progress
+		// do not apply.
+		if *progress || *timeout > 0 {
+			fmt.Fprintln(os.Stderr, "reconcile: note: -progress and -timeout are not honored by the mapreduce engine")
+		}
 		res, err = reconcile.ReconcileMapReduce(g1, g2, seeds, opts)
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))

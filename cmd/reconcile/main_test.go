@@ -144,6 +144,75 @@ func TestReconcileEndToEnd(t *testing.T) {
 	}
 }
 
+// A microscopic -timeout must abort the run with a clear message and a
+// non-zero exit, and a generous one must not fire.
+func TestReconcileTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "reconcile-cli")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	r := reconcile.NewRand(2)
+	g := reconcile.GeneratePA(r, 2000, 10)
+	g1, g2 := reconcile.IndependentCopies(r, g, 0.8, 0.8)
+	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(2000), 0.15)
+
+	write := func(name string, gr *reconcile.Graph) string {
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reconcile.WriteEdgeList(f, gr); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return p
+	}
+	p1 := write("g1.txt", g1)
+	p2 := write("g2.txt", g2)
+	ps := filepath.Join(dir, "seeds.txt")
+	var sb strings.Builder
+	for _, s := range seeds {
+		sb.WriteString(itoa(int(s.Left)) + " " + itoa(int(s.Right)) + "\n")
+	}
+	if err := os.WriteFile(ps, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1ns expires before the first bucket boundary: non-zero exit, message.
+	cmd := exec.Command(bin, "-g1", p1, "-g2", p2, "-seeds", ps, "-timeout", "1ns")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("1ns timeout: command succeeded\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("1ns timeout: err = %v, want non-zero exit", err)
+	}
+	if !strings.Contains(string(out), "deadline exceeded") {
+		t.Fatalf("1ns timeout: no clear message in output:\n%s", out)
+	}
+
+	// A generous timeout completes normally.
+	cmd = exec.Command(bin, "-g1", p1, "-g2", p2, "-seeds", ps, "-timeout", "5m", "-progress")
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("5m timeout: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "links total") {
+		t.Fatalf("5m timeout: missing summary:\n%s", out)
+	}
+	if !strings.Contains(string(out), "bucket") {
+		t.Fatalf("-progress: no bucket lines:\n%s", out)
+	}
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

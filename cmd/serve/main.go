@@ -1,0 +1,55 @@
+// Command serve exposes the reconciler as a long-lived HTTP/JSON service —
+// the operational shape of the problem, where networks are reconciled once
+// and trusted links keep trickling in.
+//
+// Usage:
+//
+//	serve -addr :8080
+//
+// API (all bodies JSON):
+//
+//	POST /v1/jobs                submit {g1, g2, seeds, options, untilStable,
+//	                             maxSweeps}; answers 202 {id, status} and
+//	                             runs the job asynchronously. untilStable
+//	                             sweeps until nothing new is found (bounded
+//	                             by maxSweeps, default 50); otherwise the
+//	                             job performs options.iterations sweeps and
+//	                             maxSweeps is ignored
+//	GET  /v1/jobs                list all jobs
+//	GET  /v1/jobs/{id}           job status, link counts and per-bucket
+//	                             phase statistics (streamed live while the
+//	                             job runs); ?pairs=1 appends the links once
+//	                             the job has stopped
+//	POST /v1/jobs/{id}/seeds     ingest {seeds: [[l, r], ...]} incrementally
+//	                             and resume sweeping until stable
+//	POST /v1/jobs/{id}/cancel    stop the job at the next bucket boundary
+//	GET  /healthz                liveness
+//
+// Graphs are submitted as {"nodes": n, "edges": [[u, v], ...]} with dense
+// 0-based IDs; seeds and returned pairs are [left, right] arrays. Options
+// mirror the functional options of the Go API: threshold, iterations,
+// engine ("parallel"/"sequential"), scoring ("count"/"adamic-adar"), ties
+// ("reject"/"lowest-id"), workers, margin, bucketing, minBucketExp,
+// maxDegree.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	s := newServer()
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("serve: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

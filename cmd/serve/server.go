@@ -1,0 +1,468 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/sociograph/reconcile"
+)
+
+// jobStatus is the lifecycle of a submitted reconciliation job.
+type jobStatus string
+
+const (
+	statusRunning   jobStatus = "running"
+	statusDone      jobStatus = "done"
+	statusCancelled jobStatus = "cancelled"
+	statusFailed    jobStatus = "failed"
+)
+
+// graphSpec is a graph in the wire format: a node count and an edge list.
+type graphSpec struct {
+	Nodes int      `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+// optionsSpec mirrors the functional options over JSON. Absent fields keep
+// the defaults.
+type optionsSpec struct {
+	Threshold    *int   `json:"threshold,omitempty"`
+	Iterations   *int   `json:"iterations,omitempty"`
+	Engine       string `json:"engine,omitempty"`  // "parallel" | "sequential"
+	Scoring      string `json:"scoring,omitempty"` // "count" | "adamic-adar"
+	Ties         string `json:"ties,omitempty"`    // "reject" | "lowest-id"
+	Workers      *int   `json:"workers,omitempty"`
+	Margin       *int   `json:"margin,omitempty"`
+	Bucketing    *bool  `json:"bucketing,omitempty"`
+	MinBucketExp *int   `json:"minBucketExp,omitempty"`
+	MaxDegree    *int   `json:"maxDegree,omitempty"`
+}
+
+// jobRequest is the POST /v1/jobs body. With untilStable the job sweeps
+// until nothing new is found, bounded by maxSweeps (default 50); otherwise
+// it performs options.iterations sweeps and maxSweeps is ignored.
+type jobRequest struct {
+	G1          graphSpec   `json:"g1"`
+	G2          graphSpec   `json:"g2"`
+	Seeds       [][2]int    `json:"seeds"`
+	Options     optionsSpec `json:"options"`
+	UntilStable bool        `json:"untilStable,omitempty"`
+	MaxSweeps   int         `json:"maxSweeps,omitempty"`
+}
+
+// phaseJSON is one progress event in wire form.
+type phaseJSON struct {
+	Iteration int `json:"iteration"`
+	Bucket    int `json:"bucket"`
+	Buckets   int `json:"buckets"`
+	MinDegree int `json:"minDegree"`
+	Matched   int `json:"matched"`
+	Total     int `json:"total"`
+}
+
+// jobView is the GET /v1/jobs/{id} body.
+type jobView struct {
+	ID     string      `json:"id"`
+	Status jobStatus   `json:"status"`
+	Links  int         `json:"links"`
+	New    int         `json:"new"`
+	Seeds  int         `json:"seeds"`
+	Phases []phaseJSON `json:"phases"`
+	Error  string      `json:"error,omitempty"`
+	Pairs  [][2]int    `json:"pairs,omitempty"`
+}
+
+// job is one reconciliation run owned by the server. The job mutex guards
+// everything below it; the Reconciler itself is only driven by the single
+// run goroutine (or, between runs, by the seeds handler), never concurrently.
+type job struct {
+	id     string
+	num    int // creation order (job IDs sort lexicographically past 9)
+	n1, n2 int // node counts, for validating incremental seeds up front
+
+	mu      sync.Mutex
+	rec     *reconcile.Reconciler
+	cancel  context.CancelFunc
+	status  jobStatus
+	phases  []phaseJSON
+	errMsg  string
+	seeds   int
+	links   int
+	pending sync.WaitGroup // run goroutine in flight (tests wait on it)
+}
+
+// view snapshots the job for JSON rendering.
+func (j *job) view(includePairs bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:     j.id,
+		Status: j.status,
+		Links:  j.links,
+		Seeds:  j.seeds,
+		New:    j.links - j.seeds,
+		Phases: append([]phaseJSON(nil), j.phases...),
+		Error:  j.errMsg,
+	}
+	if includePairs && j.status != statusRunning {
+		for _, p := range j.rec.Result().Pairs {
+			v.Pairs = append(v.Pairs, [2]int{int(p.Left), int(p.Right)})
+		}
+	}
+	return v
+}
+
+// server is the reconciliation service: an in-memory job table over the
+// Reconciler API.
+type server struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+}
+
+func newServer() *server {
+	return &server{jobs: make(map[string]*job)}
+}
+
+// handler routes the v1 API.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/jobs", s.createJob)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/seeds", s.addSeeds)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancelJob)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// buildOptions translates an optionsSpec into functional options.
+func buildOptions(spec optionsSpec) ([]reconcile.Option, error) {
+	var opts []reconcile.Option
+	if spec.Threshold != nil {
+		opts = append(opts, reconcile.WithThreshold(*spec.Threshold))
+	}
+	if spec.Iterations != nil {
+		opts = append(opts, reconcile.WithIterations(*spec.Iterations))
+	}
+	switch spec.Engine {
+	case "":
+	case "parallel":
+		opts = append(opts, reconcile.WithEngine(reconcile.EngineParallel))
+	case "sequential":
+		opts = append(opts, reconcile.WithEngine(reconcile.EngineSequential))
+	default:
+		return nil, fmt.Errorf("unknown engine %q", spec.Engine)
+	}
+	switch spec.Scoring {
+	case "":
+	case "count":
+		opts = append(opts, reconcile.WithScoring(reconcile.ScoreWitnessCount))
+	case "adamic-adar":
+		opts = append(opts, reconcile.WithScoring(reconcile.ScoreAdamicAdar))
+	default:
+		return nil, fmt.Errorf("unknown scoring %q", spec.Scoring)
+	}
+	switch spec.Ties {
+	case "":
+	case "reject":
+		opts = append(opts, reconcile.WithTieBreak(reconcile.TieReject))
+	case "lowest-id":
+		opts = append(opts, reconcile.WithTieBreak(reconcile.TieLowestID))
+	default:
+		return nil, fmt.Errorf("unknown tie policy %q", spec.Ties)
+	}
+	if spec.Workers != nil {
+		opts = append(opts, reconcile.WithWorkers(*spec.Workers))
+	}
+	if spec.Margin != nil {
+		opts = append(opts, reconcile.WithMargin(*spec.Margin))
+	}
+	if spec.Bucketing != nil {
+		opts = append(opts, reconcile.WithBucketing(*spec.Bucketing))
+	}
+	if spec.MinBucketExp != nil {
+		opts = append(opts, reconcile.WithMinBucketExp(*spec.MinBucketExp))
+	}
+	if spec.MaxDegree != nil {
+		opts = append(opts, reconcile.WithMaxDegree(*spec.MaxDegree))
+	}
+	return opts, nil
+}
+
+func buildGraph(spec graphSpec) (*reconcile.Graph, error) {
+	if spec.Nodes <= 0 {
+		return nil, fmt.Errorf("graph needs a positive node count")
+	}
+	edges := make([]reconcile.Edge, 0, len(spec.Edges))
+	for _, e := range spec.Edges {
+		if e[0] < 0 || e[0] >= spec.Nodes || e[1] < 0 || e[1] >= spec.Nodes {
+			return nil, fmt.Errorf("edge (%d, %d) out of range for %d nodes", e[0], e[1], spec.Nodes)
+		}
+		edges = append(edges, reconcile.Edge{U: reconcile.NodeID(e[0]), V: reconcile.NodeID(e[1])})
+	}
+	return reconcile.FromEdges(spec.Nodes, edges), nil
+}
+
+func toPairs(raw [][2]int) []reconcile.Pair {
+	out := make([]reconcile.Pair, 0, len(raw))
+	for _, p := range raw {
+		out = append(out, reconcile.Pair{Left: reconcile.NodeID(p[0]), Right: reconcile.NodeID(p[1])})
+	}
+	return out
+}
+
+// createJob handles POST /v1/jobs: build the graphs and a Reconciler, start
+// the run in a goroutine, answer 202 with the job id immediately.
+func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	g1, err := buildGraph(req.G1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "g1: %v", err)
+		return
+	}
+	g2, err := buildGraph(req.G2)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "g2: %v", err)
+		return
+	}
+	opts, err := buildOptions(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "options: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("job-%d", s.nextID),
+		num:    s.nextID,
+		n1:     req.G1.Nodes,
+		n2:     req.G2.Nodes,
+		status: statusRunning,
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	// The progress hook streams phase events into the job under its lock,
+	// so a concurrent GET sees bucket-by-bucket statistics live.
+	opts = append(opts,
+		reconcile.WithSeeds(toPairs(req.Seeds)),
+		reconcile.WithProgress(func(e reconcile.PhaseEvent) {
+			j.mu.Lock()
+			j.phases = append(j.phases, phaseJSON{
+				Iteration: e.Iteration,
+				Bucket:    e.Bucket,
+				Buckets:   e.Buckets,
+				MinDegree: e.MinDegree,
+				Matched:   e.Matched,
+				Total:     e.TotalLinks,
+			})
+			j.links = e.TotalLinks
+			j.mu.Unlock()
+		}))
+
+	rec, err := reconcile.New(g1, g2, opts...)
+	if err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "constructing reconciler: %v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.mu.Lock()
+	j.rec = rec
+	j.cancel = cancel
+	j.seeds = rec.Len()
+	j.links = rec.Len()
+	j.mu.Unlock()
+
+	maxSweeps := req.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 50
+	}
+	j.pending.Add(1)
+	go func() {
+		defer j.pending.Done()
+		defer cancel()
+		var err error
+		if req.UntilStable {
+			_, err = rec.RunUntilStable(ctx, maxSweeps)
+		} else {
+			_, err = rec.Run(ctx)
+		}
+		j.finish(err)
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
+}
+
+// finish records a run's outcome on the job.
+func (j *job) finish(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.links = j.rec.Len()
+	switch {
+	case err == nil:
+		j.status = statusDone
+	case errors.Is(err, context.Canceled):
+		j.status = statusCancelled
+		j.errMsg = err.Error()
+	default:
+		j.status = statusFailed
+		j.errMsg = err.Error()
+	}
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+// getJob handles GET /v1/jobs/{id}; ?pairs=1 includes the link list once the
+// job has stopped running.
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(r.URL.Query().Get("pairs") == "1"))
+}
+
+// listJobs handles GET /v1/jobs.
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].num < jobs[b].num })
+	views := make([]jobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.view(false))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// addSeeds handles POST /v1/jobs/{id}/seeds: ingest incremental trusted
+// links into a job that is not currently running, then resume sweeping
+// asynchronously until stable.
+func (s *server) addSeeds(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	var req struct {
+		Seeds [][2]int `json:"seeds"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+
+	j.mu.Lock()
+	if j.status == statusRunning {
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %s is running; wait for it to finish", j.id)
+		return
+	}
+	// All-or-nothing: Reconciler.AddSeeds commits seeds up to the first
+	// conflict, which would leave the job's counters and matching out of
+	// step on a 409. Pre-check the whole batch against the current links
+	// (and itself) so a rejected request changes nothing.
+	newSeeds := toPairs(req.Seeds)
+	usedL := make(map[reconcile.NodeID]reconcile.NodeID)
+	usedR := make(map[reconcile.NodeID]reconcile.NodeID)
+	for _, p := range j.rec.Result().Pairs {
+		usedL[p.Left] = p.Right
+		usedR[p.Right] = p.Left
+	}
+	for _, p := range newSeeds {
+		if int(p.Left) >= j.n1 || int(p.Right) >= j.n2 {
+			j.mu.Unlock()
+			writeError(w, http.StatusBadRequest, "seed (%d, %d): node out of range (%d x %d nodes)", p.Left, p.Right, j.n1, j.n2)
+			return
+		}
+		if cur, ok := usedL[p.Left]; ok {
+			if cur == p.Right {
+				continue // exact duplicate, ignored by AddSeeds
+			}
+			j.mu.Unlock()
+			writeError(w, http.StatusConflict, "seed (%d, %d): left node already linked to %d", p.Left, p.Right, cur)
+			return
+		}
+		if cur, ok := usedR[p.Right]; ok {
+			j.mu.Unlock()
+			writeError(w, http.StatusConflict, "seed (%d, %d): right node already linked to %d", p.Left, p.Right, cur)
+			return
+		}
+		usedL[p.Left] = p.Right
+		usedR[p.Right] = p.Left
+	}
+	before := j.rec.Len()
+	if err := j.rec.AddSeeds(newSeeds); err != nil {
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict, "adding seeds: %v", err)
+		return
+	}
+	j.seeds += j.rec.Len() - before // duplicates are ignored, not inserted
+	j.links = j.rec.Len()
+	j.status = statusRunning
+	j.errMsg = ""
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	rec := j.rec
+	j.mu.Unlock()
+
+	j.pending.Add(1)
+	go func() {
+		defer j.pending.Done()
+		defer cancel()
+		_, err := rec.RunUntilStable(ctx, 50)
+		j.finish(err)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
+}
+
+// cancelJob handles POST /v1/jobs/{id}/cancel: stop a running job at the
+// next bucket boundary. Cancelling a finished job is a no-op.
+func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if j.cancel != nil {
+		j.cancel()
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
+}

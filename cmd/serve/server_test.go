@@ -1,0 +1,313 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/sociograph/reconcile"
+)
+
+// testInstance builds a reconciliation instance in wire form: a PA graph,
+// two independent partial copies, and identity seeds.
+func testInstance(t *testing.T, n int, seedFrac float64) jobRequest {
+	t.Helper()
+	r := reconcile.NewRand(71)
+	world := reconcile.GeneratePA(r, n, 8)
+	g1, g2 := reconcile.IndependentCopies(r, world, 0.8, 0.8)
+	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(n), seedFrac)
+
+	spec := func(g *reconcile.Graph) graphSpec {
+		s := graphSpec{Nodes: g.NumNodes()}
+		g.Edges(func(e reconcile.Edge) bool {
+			s.Edges = append(s.Edges, [2]int{int(e.U), int(e.V)})
+			return true
+		})
+		return s
+	}
+	req := jobRequest{G1: spec(g1), G2: spec(g2)}
+	for _, p := range seeds {
+		req.Seeds = append(req.Seeds, [2]int{int(p.Left), int(p.Right)})
+	}
+	return req
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// waitForJob polls GET /v1/jobs/{id} until the job leaves the running state.
+func waitForJob(t *testing.T, base, id string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := decode[jobView](t, resp)
+		if v.Status != statusRunning {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s still running after 30s", id)
+	return jobView{}
+}
+
+func TestServeJobLifecycle(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	// Submit a job.
+	req := testInstance(t, 800, 0.15)
+	resp := postJSON(t, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d", resp.StatusCode)
+	}
+	created := decode[map[string]string](t, resp)
+	id := created["id"]
+	if id == "" {
+		t.Fatal("no job id in response")
+	}
+
+	// It finishes and reports per-bucket phase statistics.
+	v := waitForJob(t, ts.URL, id)
+	if v.Status != statusDone {
+		t.Fatalf("status = %q (%s), want done", v.Status, v.Error)
+	}
+	if len(v.Phases) == 0 {
+		t.Fatal("no phase statistics reported")
+	}
+	for _, ph := range v.Phases {
+		if ph.Iteration < 1 || ph.Bucket < 1 || ph.Bucket > ph.Buckets || ph.MinDegree < 1 {
+			t.Fatalf("malformed phase stat %+v", ph)
+		}
+	}
+	if v.Seeds != len(req.Seeds) {
+		t.Fatalf("seeds = %d, want %d", v.Seeds, len(req.Seeds))
+	}
+	if v.New <= 0 || v.Links != v.Seeds+v.New {
+		t.Fatalf("links = %d, seeds = %d, new = %d: matcher found nothing", v.Links, v.Seeds, v.New)
+	}
+
+	// The HTTP result matches the in-process API on the same instance.
+	g1, err := buildGraph(req.G1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := buildGraph(req.G2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(toPairs(req.Seeds)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rec.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Links != len(want.Pairs) {
+		t.Fatalf("HTTP run found %d links, in-process %d", v.Links, len(want.Pairs))
+	}
+
+	// ?pairs=1 returns the link list once stopped.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s?pairs=1", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPairs := decode[jobView](t, resp)
+	if len(withPairs.Pairs) != v.Links {
+		t.Fatalf("pairs = %d, want %d", len(withPairs.Pairs), v.Links)
+	}
+
+	// Incremental seeds resume the job and never lose links.
+	extra := [][2]int{}
+	usedL := make(map[int]bool, len(withPairs.Pairs))
+	usedR := make(map[int]bool, len(withPairs.Pairs))
+	for _, p := range withPairs.Pairs {
+		usedL[p[0]] = true
+		usedR[p[1]] = true
+	}
+	for i := 0; i < req.G1.Nodes && len(extra) < 20; i++ {
+		if !usedL[i] && !usedR[i] {
+			extra = append(extra, [2]int{i, i})
+		}
+	}
+	if len(extra) == 0 {
+		t.Skip("matcher already identified every node; nothing to ingest")
+	}
+	resp = postJSON(t, fmt.Sprintf("%s/v1/jobs/%s/seeds", ts.URL, id), map[string]any{"seeds": extra})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST seeds: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	after := waitForJob(t, ts.URL, id)
+	if after.Status != statusDone {
+		t.Fatalf("after seeds: status %q (%s)", after.Status, after.Error)
+	}
+	if after.Links < v.Links+len(extra) {
+		t.Fatalf("links after ingest = %d, want >= %d", after.Links, v.Links+len(extra))
+	}
+
+	// The job shows up in the listing.
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[map[string][]jobView](t, resp)
+	if len(list["jobs"]) != 1 || list["jobs"][0].ID != id {
+		t.Fatalf("listing = %+v", list)
+	}
+}
+
+func TestServeCancel(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	req := testInstance(t, 2000, 0.1)
+	req.UntilStable = true
+	resp := postJSON(t, ts.URL+"/v1/jobs", req)
+	created := decode[map[string]string](t, resp)
+
+	resp = postJSON(t, fmt.Sprintf("%s/v1/jobs/%s/cancel", ts.URL, created["id"]), nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST cancel: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// The job must reach a terminal state promptly — cancelled if the signal
+	// landed mid-run, done if the run won the race.
+	v := waitForJob(t, ts.URL, created["id"])
+	if v.Status != statusCancelled && v.Status != statusDone {
+		t.Fatalf("status after cancel = %q", v.Status)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	// Malformed body.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+
+	// Unknown engine.
+	req := testInstance(t, 50, 0.2)
+	req.Options.Engine = "quantum"
+	resp = postJSON(t, ts.URL+"/v1/jobs", req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown engine: status %d", resp.StatusCode)
+	}
+
+	// Out-of-range edge.
+	req = testInstance(t, 50, 0.2)
+	req.G1.Edges = append(req.G1.Edges, [2]int{0, 99})
+	resp = postJSON(t, ts.URL+"/v1/jobs", req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range edge: status %d", resp.StatusCode)
+	}
+
+	// Unknown job.
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", resp.StatusCode)
+	}
+
+	// Conflicting incremental seed.
+	req = testInstance(t, 200, 0.3)
+	resp = postJSON(t, ts.URL+"/v1/jobs", req)
+	created := decode[map[string]string](t, resp)
+	v := waitForJob(t, ts.URL, created["id"])
+	if v.Status != statusDone {
+		t.Fatalf("setup job: status %q", v.Status)
+	}
+	bad := [][2]int{{int(req.Seeds[0][0]), int(req.Seeds[1][1])}} // left already linked elsewhere
+	resp = postJSON(t, fmt.Sprintf("%s/v1/jobs/%s/seeds", ts.URL, created["id"]), map[string]any{"seeds": bad})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("conflicting seed: status %d", resp.StatusCode)
+	}
+
+	// Seed batches are all-or-nothing: a valid seed ahead of a conflicting
+	// one must not be committed when the batch is rejected.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s?pairs=1", ts.URL, created["id"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := decode[jobView](t, resp)
+	free := -1
+	usedL := map[int]bool{}
+	usedR := map[int]bool{}
+	for _, p := range before.Pairs {
+		usedL[p[0]] = true
+		usedR[p[1]] = true
+	}
+	for i := 0; i < req.G1.Nodes; i++ {
+		if !usedL[i] && !usedR[i] {
+			free = i
+			break
+		}
+	}
+	if free < 0 {
+		t.Skip("no unmatched node to build the batch from")
+	}
+	batch := [][2]int{{free, free}, bad[0]}
+	resp = postJSON(t, fmt.Sprintf("%s/v1/jobs/%s/seeds", ts.URL, created["id"]), map[string]any{"seeds": batch})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mixed batch: status %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/v1/jobs/%s?pairs=1", ts.URL, created["id"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := decode[jobView](t, resp)
+	if after.Status != statusDone || len(after.Pairs) != len(before.Pairs) || after.Links != before.Links {
+		t.Fatalf("rejected batch changed the job: %d -> %d pairs, links %d -> %d, status %q",
+			len(before.Pairs), len(after.Pairs), before.Links, after.Links, after.Status)
+	}
+
+	// An out-of-range incremental seed is a 400, also without state change.
+	resp = postJSON(t, fmt.Sprintf("%s/v1/jobs/%s/seeds", ts.URL, created["id"]),
+		map[string]any{"seeds": [][2]int{{free, req.G2.Nodes + 5}}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range seed: status %d, want 400", resp.StatusCode)
+	}
+}

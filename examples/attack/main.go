@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,11 @@ func main() {
 	fmt.Printf("network 2 under attack: %v\n", reconcile.ComputeStats(g2))
 
 	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(n), 0.10)
-	res, err := reconcile.Reconcile(g1, g2, seeds, reconcile.DefaultOptions())
+	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rec.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

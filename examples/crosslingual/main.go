@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,9 +70,13 @@ func main() {
 	seeds := reconcile.Seeds(r, curated, 0.10)
 	fmt.Printf("curated links: %d, used as seeds: %d\n", len(curated), len(seeds))
 
-	opts := reconcile.DefaultOptions()
-	opts.Threshold = 3
-	res, err := reconcile.Reconcile(french, german, seeds, opts)
+	rec, err := reconcile.New(french, german,
+		reconcile.WithSeeds(seeds),
+		reconcile.WithThreshold(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rec.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,9 +50,13 @@ func main() {
 	fmt.Printf("released graph: %v\n", reconcile.ComputeStats(anonymized))
 	fmt.Printf("attacker knowledge: %d of %d identities (%.1f%%)\n", len(known), n, 100*float64(len(known))/float64(n))
 
-	opts := reconcile.DefaultOptions()
-	opts.Threshold = 3 // de-anonymization wants high confidence
-	res, err := reconcile.Reconcile(crawl, anonymized, known, opts)
+	rec, err := reconcile.New(crawl, anonymized,
+		reconcile.WithSeeds(known),
+		reconcile.WithThreshold(3)) // de-anonymization wants high confidence
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rec.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

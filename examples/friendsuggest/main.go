@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,11 @@ func main() {
 	n := world.NumNodes()
 
 	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(n), 0.10)
-	res, err := reconcile.Reconcile(g1, g2, seeds, reconcile.DefaultOptions())
+	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rec.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

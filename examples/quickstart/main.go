@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,8 +33,20 @@ func main() {
 	seeds := reconcile.Seeds(r, truth, 0.10)
 	fmt.Printf("seed links: %d\n", len(seeds))
 
-	// Reconcile.
-	res, err := reconcile.Reconcile(g1, g2, seeds, reconcile.DefaultOptions())
+	// Reconcile: build a long-lived matcher over the two networks and run
+	// it under a context, watching each bucket pass complete live.
+	rec, err := reconcile.New(g1, g2,
+		reconcile.WithSeeds(seeds),
+		reconcile.WithThreshold(2),
+		reconcile.WithIterations(2),
+		reconcile.WithProgress(func(e reconcile.PhaseEvent) {
+			fmt.Printf("  sweep %d, bucket %d/%d (degree >= %-4d): +%d links (total %d)\n",
+				e.Iteration, e.Bucket, e.Buckets, e.MinDegree, e.Matched, e.TotalLinks)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rec.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,8 +56,4 @@ func main() {
 	recall := reconcile.LinkedRecall(res.Pairs, reconcile.IdentityTruth(truthGraph.NumNodes()), g1, g2)
 	fmt.Printf("discovered %d links: %d correct, %d wrong (precision %.2f%%, recall %.2f%%)\n",
 		len(res.NewPairs), counts.Good, counts.Bad, 100*counts.Precision(), 100*recall)
-	for _, ph := range res.Phases {
-		fmt.Printf("  sweep %d, degree >= %-4d: +%d links (total %d)\n",
-			ph.Iteration, ph.MinDegree, ph.Matched, ph.TotalL)
-	}
 }

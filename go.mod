@@ -1,0 +1,3 @@
+module github.com/sociograph/reconcile
+
+go 1.24

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"github.com/sociograph/reconcile/internal/graph"
@@ -34,33 +34,25 @@ type Result struct {
 // output pairs. Both engines are deterministic; for fixed inputs and options
 // the result is identical regardless of Workers.
 func Reconcile(g1, g2 *graph.Graph, seeds []graph.Pair, opts Options) (*Result, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	if g1 == nil || g2 == nil {
-		return nil, fmt.Errorf("core: nil graph")
-	}
-	m, err := NewMatching(g1.NumNodes(), g2.NumNodes(), seeds)
+	return ReconcileContext(context.Background(), g1, g2, seeds, opts, nil)
+}
+
+// ReconcileContext is Reconcile with cancellation and observability: the
+// context is checked at every bucket-phase boundary, and the optional
+// progress hook receives a PhaseEvent after each pass. When the context ends
+// mid-run the partial Result accumulated so far is returned together with
+// ctx.Err(); the result is valid (the algorithm is monotone, links are never
+// retracted), just incomplete.
+func ReconcileContext(ctx context.Context, g1, g2 *graph.Graph, seeds []graph.Pair, opts Options, progress func(PhaseEvent)) (*Result, error) {
+	s, err := NewSession(g1, g2, seeds, opts)
 	if err != nil {
 		return nil, err
 	}
-	lc := newLinkedCounts(g1, g2, m)
-	res := &Result{Seeds: m.SeedCount()}
-	buckets := opts.buckets(g1, g2)
-	for iter := 1; iter <= opts.Iterations; iter++ {
-		for _, minDeg := range buckets {
-			matched := runBucket(g1, g2, m, lc, minDeg, opts)
-			res.Phases = append(res.Phases, PhaseStat{
-				Iteration: iter,
-				MinDegree: minDeg,
-				Matched:   matched,
-				TotalL:    m.Len(),
-			})
-		}
+	s.progress = progress
+	if _, err := s.RunContext(ctx, opts.Iterations); err != nil {
+		return s.Result(), err
 	}
-	res.Pairs = m.Pairs()
-	res.NewPairs = m.NewPairs()
-	return res, nil
+	return s.Result(), nil
 }
 
 // linkedCounts tracks, per node, how many of its neighbors are currently

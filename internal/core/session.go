@@ -1,10 +1,24 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/sociograph/reconcile/internal/graph"
 )
+
+// PhaseEvent describes one completed bucket pass. Sessions deliver events to
+// the progress hook (SetProgress) synchronously as the run advances, so a
+// caller can observe phase, bucket and match counts live — and cancel the
+// run's context from inside the hook if it has seen enough.
+type PhaseEvent struct {
+	Iteration  int // 1-based sweep number, cumulative across Runs
+	Bucket     int // 1-based bucket index within the sweep
+	Buckets    int // buckets per sweep under the current schedule
+	MinDegree  int // the 2^j degree floor of this pass
+	Matched    int // pairs accepted in this pass
+	TotalLinks int // |L| after the pass, seeds included
+}
 
 // Session is the incremental form of Reconcile for production pipelines:
 // networks are reconciled once, then new trusted links trickle in (users
@@ -15,12 +29,13 @@ import (
 // would eventually find (the algorithm is monotone: links are never
 // retracted).
 type Session struct {
-	g1, g2 *graph.Graph
-	opts   Options
-	m      *Matching
-	lc     *linkedCounts
-	phases []PhaseStat
-	sweeps int
+	g1, g2   *graph.Graph
+	opts     Options
+	m        *Matching
+	lc       *linkedCounts
+	phases   []PhaseStat
+	sweeps   int
+	progress func(PhaseEvent)
 }
 
 // NewSession prepares an incremental matcher over the two networks with the
@@ -63,14 +78,38 @@ func (s *Session) AddSeeds(seeds []graph.Pair) error {
 	return nil
 }
 
+// SetProgress installs a hook called synchronously after every bucket pass.
+// A nil fn removes the hook. The hook must not call back into the Session.
+func (s *Session) SetProgress(fn func(PhaseEvent)) { s.progress = fn }
+
 // Run performs the given number of full bucket sweeps and returns how many
 // new links were found.
 func (s *Session) Run(sweeps int) int {
+	found, _ := s.RunContext(context.Background(), sweeps)
+	return found
+}
+
+// RunContext performs the given number of full bucket sweeps, honoring
+// cancellation and deadlines: the context is checked at every bucket-phase
+// boundary, and on expiry the sweep stops there with ctx.Err(). Links found
+// before the stop are kept — the session remains valid, Result reflects the
+// partial progress, and a later Run picks up where this one stopped.
+func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 	found := 0
 	buckets := s.opts.buckets(s.g1, s.g2)
 	for i := 0; i < sweeps; i++ {
+		// Check before claiming a sweep number: a cancelled run must not
+		// consume an iteration label no bucket ever ran under.
+		if err := ctx.Err(); err != nil {
+			return found, err
+		}
 		s.sweeps++
-		for _, minDeg := range buckets {
+		for bi, minDeg := range buckets {
+			if bi > 0 {
+				if err := ctx.Err(); err != nil {
+					return found, err
+				}
+			}
 			matched := runBucket(s.g1, s.g2, s.m, s.lc, minDeg, s.opts)
 			found += matched
 			s.phases = append(s.phases, PhaseStat{
@@ -79,23 +118,44 @@ func (s *Session) Run(sweeps int) int {
 				Matched:   matched,
 				TotalL:    s.m.Len(),
 			})
+			if s.progress != nil {
+				s.progress(PhaseEvent{
+					Iteration:  s.sweeps,
+					Bucket:     bi + 1,
+					Buckets:    len(buckets),
+					MinDegree:  minDeg,
+					Matched:    matched,
+					TotalLinks: s.m.Len(),
+				})
+			}
 		}
 	}
-	return found
+	return found, nil
 }
 
 // RunUntilStable sweeps until a full sweep finds nothing new (or maxSweeps
 // is reached), returning the total number of links found.
 func (s *Session) RunUntilStable(maxSweeps int) int {
+	total, _ := s.RunUntilStableContext(context.Background(), maxSweeps)
+	return total
+}
+
+// RunUntilStableContext is RunUntilStable with cancellation: it sweeps until
+// a full sweep finds nothing new, maxSweeps is reached, or the context ends
+// (checked at bucket boundaries, like RunContext).
+func (s *Session) RunUntilStableContext(ctx context.Context, maxSweeps int) (int, error) {
 	total := 0
 	for i := 0; i < maxSweeps; i++ {
-		found := s.Run(1)
+		found, err := s.RunContext(ctx, 1)
 		total += found
+		if err != nil {
+			return total, err
+		}
 		if found == 0 {
 			break
 		}
 	}
-	return total
+	return total, nil
 }
 
 // Len returns the current number of links, seeds included.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/sociograph/reconcile/internal/graph"
@@ -106,6 +108,56 @@ func TestSessionValidation(t *testing.T) {
 	}
 	if _, err := NewSession(g, g, []graph.Pair{{Left: 5, Right: 0}}, DefaultOptions()); err == nil {
 		t.Error("bad seed accepted")
+	}
+}
+
+// Cancelling mid-run stops at the next bucket boundary; the session keeps
+// its partial progress and remains resumable.
+func TestSessionRunContextCancellation(t *testing.T) {
+	g1, g2, seeds := testInstance(61, 500)
+	sess, err := NewSession(g1, g2, seeds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	sess.SetProgress(func(e PhaseEvent) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+	})
+	_, err = sess.RunContext(ctx, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 || len(sess.Result().Phases) != 2 {
+		t.Fatalf("run continued past the boundary: %d hook calls, %d phases", calls, len(sess.Result().Phases))
+	}
+
+	sess.SetProgress(nil)
+	before := sess.Len()
+	if _, err := sess.RunUntilStableContext(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Len() < before {
+		t.Fatal("session lost links across cancellation")
+	}
+}
+
+// ReconcileContext returns the partial Result together with the context
+// error when cancelled before any bucket runs.
+func TestReconcileContextPreCancelled(t *testing.T) {
+	g1, g2, seeds := testInstance(63, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ReconcileContext(ctx, g1, g2, seeds, DefaultOptions(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Pairs) != res.Seeds || len(res.Phases) != 0 {
+		t.Fatalf("partial result: %d pairs, %d seeds, %d phases", len(res.Pairs), res.Seeds, len(res.Phases))
 	}
 }
 

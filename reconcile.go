@@ -4,10 +4,24 @@
 // models and evaluation tooling of the paper.
 //
 // Given two partial views G1, G2 of an unknown social network and a small
-// set of trusted cross-network identity links, Reconcile expands the links
+// set of trusted cross-network identity links, the matcher expands the links
 // into an identification of a large fraction of the users, by iteratively
 // linking mutual-best pairs under the similarity-witness score with a
 // degree-bucketing schedule (the paper's User-Matching algorithm).
+//
+// The primary entry point is the Reconciler, built with New and functional
+// options:
+//
+//	rec, err := reconcile.New(g1, g2,
+//	    reconcile.WithSeeds(seeds),
+//	    reconcile.WithThreshold(2),
+//	    reconcile.WithProgress(func(e reconcile.PhaseEvent) { ... }))
+//	res, err := rec.Run(ctx)
+//
+// It supports context cancellation (checked at bucket-phase boundaries),
+// incremental seed ingestion (AddSeeds between runs) and live progress
+// events. The free functions Reconcile, ReconcileMapReduce and NewSession
+// predate it and remain as thin deprecated wrappers.
 //
 // The package is a facade over the implementation in internal/...; it is the
 // entire supported API surface:
@@ -20,16 +34,19 @@
 //     GenerateWattsStrogatz, GenerateAffiliation;
 //   - copy models: IndependentCopies, CascadeCopies, CommunityCopies,
 //     TimeSplit, SybilAttack, Seeds;
-//   - matching: Reconcile, ReconcileMapReduce, Options, DefaultOptions,
-//     Result;
+//   - matching: New, Reconciler, Option (WithThreshold, WithIterations,
+//     WithEngine, WithScoring, WithTieBreak, WithWorkers, WithMargin,
+//     WithBucketing, WithSeeds, WithProgress, ...), Result, PhaseEvent;
 //   - evaluation: Truth, IdentityTruth, Evaluate, Counts, LinkedRecall,
 //     DegreeCurve.
 //
-// See examples/ for runnable end-to-end programs and DESIGN.md for the
-// mapping from the paper's sections to the implementation.
+// See examples/ for runnable end-to-end programs, cmd/serve for the HTTP
+// service, and DESIGN.md for the mapping from the paper's sections to the
+// implementation.
 package reconcile
 
 import (
+	"context"
 	"io"
 
 	"github.com/sociograph/reconcile/internal/core"
@@ -71,6 +88,11 @@ type TemporalEdge = sampling.TemporalEdge
 type AffiliationNetwork = gen.AffiliationNetwork
 
 // Options configures the matching algorithm; see DefaultOptions.
+//
+// Deprecated: new code should configure a Reconciler with functional options
+// (New, WithThreshold, ...). Options remains the bridge type: WithOptions
+// converts an existing struct, and Reconciler.Options reports the validated
+// configuration.
 type Options = core.Options
 
 // Result is the matcher's output: all links (seeds first), the discovered
@@ -232,13 +254,24 @@ func DefaultOptions() Options { return core.DefaultOptions() }
 // Reconcile runs User-Matching over the two observed networks and the seed
 // links, returning the expanded identification. Deterministic for fixed
 // inputs and options.
+//
+// Deprecated: use New with WithSeeds and WithOptions (or the individual
+// With functions), then Run — which adds context cancellation, incremental
+// seeds and progress events. This wrapper produces identical results.
 func Reconcile(g1, g2 *Graph, seeds []Pair, opts Options) (*Result, error) {
-	return core.Reconcile(g1, g2, seeds, opts)
+	r, err := New(g1, g2, WithOptions(opts), WithSeeds(seeds))
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(context.Background())
 }
 
 // ReconcileMapReduce runs the identical algorithm formulated as the paper's
 // 4-rounds-per-bucket MapReduce job (O(k·log D) rounds total). Results match
 // Reconcile exactly; use it to inspect or port the distributed formulation.
+//
+// Deprecated: prefer New and Run for production use; this entry point
+// remains for studying the distributed formulation.
 func ReconcileMapReduce(g1, g2 *Graph, seeds []Pair, opts Options) (*Result, error) {
 	return mapreduce.Reconcile(g1, g2, seeds, opts)
 }
@@ -246,10 +279,16 @@ func ReconcileMapReduce(g1, g2 *Graph, seeds []Pair, opts Options) (*Result, err
 // Session is the incremental matcher: reconcile once, then keep feeding
 // newly learned trusted links and resuming — the production shape of the
 // problem, where users keep connecting their accounts.
+//
+// Deprecated: Reconciler absorbs the Session (incremental AddSeeds, context
+// runs, progress) behind one construction path; use New.
 type Session = core.Session
 
 // NewSession prepares an incremental matcher; drive it with
 // Session.AddSeeds, Session.Run / Session.RunUntilStable, Session.Result.
+//
+// Deprecated: use New; Reconciler offers the same incremental workflow plus
+// context support and progress events.
 func NewSession(g1, g2 *Graph, seeds []Pair, opts Options) (*Session, error) {
 	return core.NewSession(g1, g2, seeds, opts)
 }

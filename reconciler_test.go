@@ -1,0 +1,286 @@
+package reconcile_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/sociograph/reconcile"
+)
+
+// reconcilerInstance builds a deterministic matching instance for the
+// Reconciler tests.
+func reconcilerInstance(seed uint64, n int) (g1, g2 *reconcile.Graph, seeds []reconcile.Pair) {
+	r := reconcile.NewRand(seed)
+	g := reconcile.GeneratePA(r, n, 8)
+	g1, g2 = reconcile.IndependentCopies(r, g, 0.8, 0.8)
+	seeds = reconcile.Seeds(r, reconcile.IdentityPairs(n), 0.15)
+	return g1, g2, seeds
+}
+
+// Constructing with no options must run with exactly DefaultOptions.
+func TestNewDefaultsEqualDefaultOptions(t *testing.T) {
+	g1, g2, _ := reconcilerInstance(1, 50)
+	rec, err := reconcile.New(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rec.Options(), reconcile.DefaultOptions(); got != want {
+		t.Fatalf("Options() = %+v, want DefaultOptions %+v", got, want)
+	}
+}
+
+// Every functional option must land on the corresponding Options field.
+func TestFunctionalOptionsSetFields(t *testing.T) {
+	g1, g2, _ := reconcilerInstance(2, 50)
+	rec, err := reconcile.New(g1, g2,
+		reconcile.WithThreshold(3),
+		reconcile.WithIterations(4),
+		reconcile.WithEngine(reconcile.EngineSequential),
+		reconcile.WithScoring(reconcile.ScoreAdamicAdar),
+		reconcile.WithTieBreak(reconcile.TieLowestID),
+		reconcile.WithWorkers(5),
+		reconcile.WithMargin(2),
+		reconcile.WithBucketing(false),
+		reconcile.WithMinBucketExp(0),
+		reconcile.WithMaxDegree(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reconcile.Options{
+		Threshold:        3,
+		Iterations:       4,
+		Engine:           reconcile.EngineSequential,
+		Scoring:          reconcile.ScoreAdamicAdar,
+		Ties:             reconcile.TieLowestID,
+		Workers:          5,
+		MinMargin:        2,
+		DisableBucketing: true,
+		MinBucketExp:     0,
+		MaxDegree:        64,
+	}
+	if got := rec.Options(); got != want {
+		t.Fatalf("Options() = %+v, want %+v", got, want)
+	}
+
+	// WithOptions bridges a legacy struct; later options refine it.
+	legacy := reconcile.DefaultOptions()
+	legacy.Threshold = 7
+	rec, err = reconcile.New(g1, g2,
+		reconcile.WithOptions(legacy),
+		reconcile.WithIterations(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Iterations = 9
+	if got := rec.Options(); got != legacy {
+		t.Fatalf("Options() = %+v, want %+v", got, legacy)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g1, g2, seeds := reconcilerInstance(3, 50)
+	if _, err := reconcile.New(nil, g2); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := reconcile.New(g1, g2, reconcile.WithThreshold(0)); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	bad := append([]reconcile.Pair{}, seeds...)
+	bad = append(bad, reconcile.Pair{Left: 0, Right: 9999})
+	if _, err := reconcile.New(g1, g2, reconcile.WithSeeds(bad)); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+}
+
+// The deprecated free function must produce results byte-identical to the
+// new API, for the default and for a customized configuration.
+func TestDeprecatedWrapperEquivalence(t *testing.T) {
+	g1, g2, seeds := reconcilerInstance(4, 600)
+	cases := []struct {
+		name    string
+		opts    reconcile.Options
+		newOpts []reconcile.Option
+	}{
+		{
+			name:    "defaults",
+			opts:    reconcile.DefaultOptions(),
+			newOpts: nil,
+		},
+		{
+			name: "customized",
+			opts: func() reconcile.Options {
+				o := reconcile.DefaultOptions()
+				o.Threshold = 3
+				o.Iterations = 1
+				o.Engine = reconcile.EngineSequential
+				o.Ties = reconcile.TieLowestID
+				o.Scoring = reconcile.ScoreAdamicAdar
+				return o
+			}(),
+			newOpts: []reconcile.Option{
+				reconcile.WithThreshold(3),
+				reconcile.WithIterations(1),
+				reconcile.WithEngine(reconcile.EngineSequential),
+				reconcile.WithTieBreak(reconcile.TieLowestID),
+				reconcile.WithScoring(reconcile.ScoreAdamicAdar),
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			old, err := reconcile.Reconcile(g1, g2, seeds, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := reconcile.New(g1, g2, append([]reconcile.Option{reconcile.WithSeeds(seeds)}, tc.newOpts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := rec.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(old, fresh) {
+				t.Fatalf("results differ:\nold   %d pairs, %d phases\nnew   %d pairs, %d phases",
+					len(old.Pairs), len(old.Phases), len(fresh.Pairs), len(fresh.Phases))
+			}
+			if len(fresh.NewPairs) == 0 {
+				t.Fatal("instance found nothing; equivalence is vacuous")
+			}
+		})
+	}
+}
+
+// An already-cancelled context returns promptly with the seeds-only partial
+// Result; cancelling from inside the progress hook stops at the next bucket
+// boundary, and the Reconciler stays usable and catches up afterwards.
+func TestRunCancellation(t *testing.T) {
+	g1, g2, seeds := reconcilerInstance(5, 600)
+
+	// Pre-cancelled: no bucket runs at all.
+	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := rec.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Pairs) != len(seeds) || len(res.Phases) != 0 {
+		t.Fatalf("partial result: %d pairs, %d phases; want seeds only", len(res.Pairs), len(res.Phases))
+	}
+
+	// Mid-run: the progress hook cancels after the first bucket pass.
+	events := 0
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	rec2, err := reconcile.New(g1, g2,
+		reconcile.WithSeeds(seeds),
+		reconcile.WithProgress(func(e reconcile.PhaseEvent) {
+			events++
+			cancel2()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := rec2.Run(ctx2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if events != 1 || len(partial.Phases) != 1 {
+		t.Fatalf("run continued past the cancelled boundary: %d events, %d phases", events, len(partial.Phases))
+	}
+
+	// The instance is still valid: finishing the run reaches the same link
+	// set as an uninterrupted batch (the algorithm is monotone).
+	full, err := reconcile.Reconcile(g1, g2, seeds, reconcile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := rec2.RunUntilStable(context.Background(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Pairs) < len(full.Pairs) {
+		t.Fatalf("resumed run found %d links, batch %d", len(resumed.Pairs), len(full.Pairs))
+	}
+}
+
+// AddSeeds between runs: duplicates are no-ops, conflicts are errors, and
+// ingested links expand on the next run.
+func TestReconcilerAddSeeds(t *testing.T) {
+	g1, g2, seeds := reconcilerInstance(6, 600)
+	half := len(seeds) / 2
+
+	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds[:half]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.RunUntilStable(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	before := rec.Len()
+
+	// Exact duplicate of a known seed is ignored.
+	if err := rec.AddSeeds(seeds[:1]); err != nil {
+		t.Fatalf("duplicate seed rejected: %v", err)
+	}
+	if rec.Len() != before {
+		t.Fatalf("duplicate seed changed the link count: %d -> %d", before, rec.Len())
+	}
+	// A seed conflicting with an existing link is an error.
+	conflict := reconcile.Pair{Left: seeds[0].Left, Right: seeds[1].Right}
+	if err := rec.AddSeeds([]reconcile.Pair{conflict}); err == nil {
+		t.Fatal("conflicting seed accepted")
+	}
+
+	// Ingest the second half (skipping conflicts with discovered links) and
+	// catch up to at least 90% of the one-shot run, as the Session did.
+	for _, s := range seeds[half:] {
+		_ = rec.AddSeeds([]reconcile.Pair{s})
+	}
+	if _, err := rec.RunUntilStable(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := reconcile.Reconcile(g1, g2, seeds, reconcile.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() < len(batch.Pairs)*90/100 {
+		t.Fatalf("incremental reconciler found %d links, batch %d", rec.Len(), len(batch.Pairs))
+	}
+}
+
+// Progress events must agree 1:1 with the Phases recorded in the Result.
+func TestWithProgressMatchesPhases(t *testing.T) {
+	g1, g2, seeds := reconcilerInstance(7, 400)
+	var events []reconcile.PhaseEvent
+	rec, err := reconcile.New(g1, g2,
+		reconcile.WithSeeds(seeds),
+		reconcile.WithProgress(func(e reconcile.PhaseEvent) { events = append(events, e) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(res.Phases) {
+		t.Fatalf("%d events, %d phases", len(events), len(res.Phases))
+	}
+	for i, e := range events {
+		ph := res.Phases[i]
+		if e.Iteration != ph.Iteration || e.MinDegree != ph.MinDegree ||
+			e.Matched != ph.Matched || e.TotalLinks != ph.TotalL {
+			t.Fatalf("event %d = %+v disagrees with phase %+v", i, e, ph)
+		}
+		if e.Bucket < 1 || e.Bucket > e.Buckets {
+			t.Fatalf("event %d: bucket %d of %d", i, e.Bucket, e.Buckets)
+		}
+	}
+}
