@@ -13,6 +13,7 @@ package reconcile_test
 // and cmd/experiments for larger runs.
 
 import (
+	"context"
 	"testing"
 
 	"github.com/sociograph/reconcile"
@@ -193,7 +194,8 @@ func makeInstance(n, m int) benchInstance {
 }
 
 // BenchmarkReconcilePA measures the end-to-end matcher on a PA instance
-// (n=20k, m=20 — Figure 2's shape at bench scale), parallel engine.
+// (n=20k, m=20 — Figure 2's shape at bench scale), default (frontier)
+// engine.
 func BenchmarkReconcilePA(b *testing.B) {
 	inst := makeInstance(20000, 20)
 	opts := reconcile.DefaultOptions()
@@ -225,9 +227,84 @@ func BenchmarkReconcileSequential(b *testing.B) {
 func BenchmarkReconcileParallel(b *testing.B) {
 	inst := makeInstance(10000, 10)
 	opts := reconcile.DefaultOptions()
+	opts.Engine = reconcile.EngineParallel
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := reconcile.Reconcile(inst.g1, inst.g2, inst.seeds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconcileFrontier is the same instance on the frontier engine —
+// identical output to BenchmarkReconcileSequential/Parallel with only the
+// dirty neighborhoods of committed links re-scored each pass. The ratio to
+// BenchmarkReconcileParallel is the incremental-scheduling headline tracked
+// in BENCH_engines.json.
+func BenchmarkReconcileFrontier(b *testing.B) {
+	inst := makeInstance(10000, 10)
+	opts := reconcile.DefaultOptions()
+	opts.Engine = reconcile.EngineFrontier
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reconcile.Reconcile(inst.g1, inst.g2, inst.seeds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconcileFrontierIncremental measures the production steady
+// state the frontier engine exists for: a converged Reconciler ingesting a
+// small batch of new trusted links and re-sweeping. The full engines pay a
+// complete re-scan per sweep here; the frontier touches only the new links'
+// neighborhoods.
+func BenchmarkReconcileFrontierIncremental(b *testing.B) {
+	benchIncremental(b, reconcile.EngineFrontier)
+}
+
+// BenchmarkReconcileParallelIncremental is the same incremental workload on
+// the full parallel engine, for the ratio.
+func BenchmarkReconcileParallelIncremental(b *testing.B) {
+	benchIncremental(b, reconcile.EngineParallel)
+}
+
+func benchIncremental(b *testing.B, engine reconcile.Engine) {
+	inst := makeInstance(10000, 10)
+	hold := 20
+	if len(inst.seeds) <= hold {
+		b.Fatal("instance has too few seeds")
+	}
+	early, late := inst.seeds[:len(inst.seeds)-hold], inst.seeds[len(inst.seeds)-hold:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rec, err := reconcile.New(inst.g1, inst.g2,
+			reconcile.WithEngine(engine), reconcile.WithSeeds(early))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rec.RunUntilStable(context.Background(), 10); err != nil {
+			b.Fatal(err)
+		}
+		// Keep only held-back seeds that do not collide with links the
+		// converged run already discovered.
+		matchedL := map[reconcile.NodeID]bool{}
+		matchedR := map[reconcile.NodeID]bool{}
+		for _, p := range rec.Result().Pairs {
+			matchedL[p.Left] = true
+			matchedR[p.Right] = true
+		}
+		fresh := late[:0:0]
+		for _, p := range late {
+			if !matchedL[p.Left] && !matchedR[p.Right] {
+				fresh = append(fresh, p)
+			}
+		}
+		b.StartTimer()
+		if err := rec.AddSeeds(fresh); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rec.RunUntilStable(context.Background(), 10); err != nil {
 			b.Fatal(err)
 		}
 	}

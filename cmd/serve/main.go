@@ -28,7 +28,9 @@
 // Graphs are submitted as {"nodes": n, "edges": [[u, v], ...]} with dense
 // 0-based IDs; seeds and returned pairs are [left, right] arrays. Options
 // mirror the functional options of the Go API: threshold, iterations,
-// engine ("parallel"/"sequential"), scoring ("count"/"adamic-adar"), ties
+// engine ("frontier"/"parallel"/"sequential" — identical output, see
+// DESIGN.md for the scheduling difference), scoring ("count"/"adamic-adar"),
+// ties
 // ("reject"/"lowest-id"), workers, margin, bucketing, minBucketExp,
 // maxDegree.
 package main

@@ -33,7 +33,7 @@ type graphSpec struct {
 type optionsSpec struct {
 	Threshold    *int   `json:"threshold,omitempty"`
 	Iterations   *int   `json:"iterations,omitempty"`
-	Engine       string `json:"engine,omitempty"`  // "parallel" | "sequential"
+	Engine       string `json:"engine,omitempty"`  // "frontier" | "parallel" | "sequential"
 	Scoring      string `json:"scoring,omitempty"` // "count" | "adamic-adar"
 	Ties         string `json:"ties,omitempty"`    // "reject" | "lowest-id"
 	Workers      *int   `json:"workers,omitempty"`
@@ -164,6 +164,8 @@ func buildOptions(spec optionsSpec) ([]reconcile.Option, error) {
 	}
 	switch spec.Engine {
 	case "":
+	case "frontier":
+		opts = append(opts, reconcile.WithEngine(reconcile.EngineFrontier))
 	case "parallel":
 		opts = append(opts, reconcile.WithEngine(reconcile.EngineParallel))
 	case "sequential":

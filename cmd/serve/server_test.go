@@ -311,3 +311,33 @@ func TestServeValidation(t *testing.T) {
 		t.Errorf("out-of-range seed: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestServeEngineSelection submits the same instance under every engine
+// string and requires identical link counts — the HTTP surface of the
+// engines' bit-identical guarantee.
+func TestServeEngineSelection(t *testing.T) {
+	ts := httptest.NewServer(newServer().handler())
+	defer ts.Close()
+
+	req := testInstance(t, 400, 0.2)
+	counts := map[string]int{}
+	for _, engine := range []string{"frontier", "parallel", "sequential"} {
+		req.Options.Engine = engine
+		resp := postJSON(t, ts.URL+"/v1/jobs", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("engine %q: status %d", engine, resp.StatusCode)
+		}
+		created := decode[map[string]string](t, resp)
+		v := waitForJob(t, ts.URL, created["id"])
+		if v.Status != statusDone {
+			t.Fatalf("engine %q: status %q (%s)", engine, v.Status, v.Error)
+		}
+		if v.New <= 0 {
+			t.Fatalf("engine %q: matcher found nothing", engine)
+		}
+		counts[engine] = v.Links
+	}
+	if counts["frontier"] != counts["sequential"] || counts["parallel"] != counts["sequential"] {
+		t.Fatalf("engines disagree over HTTP: %v", counts)
+	}
+}

@@ -28,6 +28,33 @@ func BenchmarkBucketed(b *testing.B) {
 	benchRun(b, DefaultOptions())
 }
 
+// BenchmarkEngine compares the three in-core engines on the identical
+// instance and configuration; their outputs are bit-identical, so the
+// ns/op ratios are pure scheduling cost.
+func BenchmarkEngine(b *testing.B) {
+	for _, engine := range []Engine{EngineSequential, EngineParallel, EngineFrontier} {
+		b.Run(engine.String(), func(b *testing.B) {
+			o := DefaultOptions()
+			o.Engine = engine
+			benchRun(b, o)
+		})
+	}
+}
+
+// BenchmarkEngineHighThreshold is the frontier's best case during a cold
+// run: at T=5 most nodes abstain, so after the first pass almost nothing is
+// dirty while the full engines keep re-scanning both node sets.
+func BenchmarkEngineHighThreshold(b *testing.B) {
+	for _, engine := range []Engine{EngineParallel, EngineFrontier} {
+		b.Run(engine.String(), func(b *testing.B) {
+			o := DefaultOptions()
+			o.Engine = engine
+			o.Threshold = 5
+			benchRun(b, o)
+		})
+	}
+}
+
 func BenchmarkUnbucketed(b *testing.B) {
 	o := DefaultOptions()
 	o.DisableBucketing = true

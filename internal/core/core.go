@@ -13,11 +13,12 @@
 // concentrate; the paper measures that this step alone removes over a third
 // of the errors.
 //
-// The package provides a sequential reference engine and a parallel engine
-// that partitions the candidate scan across goroutines; both are
-// deterministic and produce identical matchings. A third formulation as
-// explicit MapReduce rounds lives in internal/mapreduce and is tested for
-// equivalence against these engines.
+// The package provides a sequential reference engine, a parallel engine that
+// partitions the candidate scan across goroutines, and a frontier engine
+// (the default) that re-scores only nodes whose scoring inputs changed since
+// their last scoring; all are deterministic and produce identical matchings.
+// A fourth formulation as explicit MapReduce rounds lives in
+// internal/mapreduce and is tested for equivalence against these engines.
 package core
 
 import (
@@ -33,10 +34,17 @@ import (
 type Engine int
 
 const (
-	// EngineParallel scans candidates with a goroutine pool (default).
+	// EngineParallel scans all candidates every pass with a goroutine pool.
 	EngineParallel Engine = iota
 	// EngineSequential is the single-threaded reference implementation.
 	EngineSequential
+	// EngineFrontier re-scores only nodes whose scoring inputs changed since
+	// their last scoring (the dirty frontier around freshly committed links),
+	// caching every node's per-bucket-level proposal across passes. It is the
+	// default: output is bit-identical to the other engines at a fraction of
+	// the scoring work, and Workers parallelizes its re-scoring batches. See
+	// frontierState for the scheduling invariants.
+	EngineFrontier
 )
 
 func (e Engine) String() string {
@@ -45,6 +53,8 @@ func (e Engine) String() string {
 		return "parallel"
 	case EngineSequential:
 		return "sequential"
+	case EngineFrontier:
+		return "frontier"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -135,10 +145,12 @@ type Options struct {
 	// 0 means max(Δ(G1), Δ(G2)).
 	MaxDegree int
 
-	// Engine selects sequential or parallel execution.
+	// Engine selects the execution strategy: frontier (default), parallel,
+	// or sequential. All three produce bit-identical output.
 	Engine Engine
 
-	// Workers bounds the parallel engine's goroutines; 0 means GOMAXPROCS.
+	// Workers bounds the goroutines of the parallel engine's candidate scan
+	// and of the frontier engine's re-scoring batches; 0 means GOMAXPROCS.
 	Workers int
 
 	// Ties selects the tie-breaking policy (default TieReject).
@@ -157,13 +169,14 @@ type Options struct {
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
-// experiments: T = 2, k = 2 sweeps, bucketing down to degree 2, parallel.
+// experiments: T = 2, k = 2 sweeps, bucketing down to degree 2, on the
+// frontier engine (identical output to the others, least work).
 func DefaultOptions() Options {
 	return Options{
 		Threshold:    2,
 		Iterations:   2,
 		MinBucketExp: 1,
-		Engine:       EngineParallel,
+		Engine:       EngineFrontier,
 	}
 }
 
@@ -184,7 +197,7 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return errors.New("core: Workers must be >= 0")
 	}
-	if o.Engine != EngineParallel && o.Engine != EngineSequential {
+	if o.Engine != EngineParallel && o.Engine != EngineSequential && o.Engine != EngineFrontier {
 		return fmt.Errorf("core: unknown engine %d", int(o.Engine))
 	}
 	if o.Ties != TieReject && o.Ties != TieLowestID {

@@ -52,6 +52,68 @@ func TestReconcileEquivariantUnderRelabeling(t *testing.T) {
 	}
 }
 
+// TestFrontierEquivariantUnderRelabeling is the node-relabeling metamorphic
+// property for the frontier engine: permuting BOTH sides' node IDs (and the
+// seeds accordingly) must permute the output pairs the same way. The frontier
+// caches proposals by node ID and drains its worklists in insertion order, so
+// this pins that none of that bookkeeping leaks IDs into the matching
+// semantics. Run under TieReject (TieLowestID is ID-dependent by design).
+func TestFrontierEquivariantUnderRelabeling(t *testing.T) {
+	for _, seed := range []uint64{31, 77} {
+		r := xrand.New(seed ^ 0xfeed)
+		g1, g2, seeds := testInstance(seed, 350)
+		n1, n2 := g1.NumNodes(), g2.NumNodes()
+
+		perm1 := make([]graph.NodeID, n1)
+		for i, p := range r.Perm(n1) {
+			perm1[i] = graph.NodeID(p)
+		}
+		perm2 := make([]graph.NodeID, n2)
+		for i, p := range r.Perm(n2) {
+			perm2[i] = graph.NodeID(p)
+		}
+		g1p := graph.Relabel(g1, perm1)
+		g2p := graph.Relabel(g2, perm2)
+		seedsP := make([]graph.Pair, len(seeds))
+		for i, s := range seeds {
+			seedsP[i] = graph.Pair{Left: perm1[s.Left], Right: perm2[s.Right]}
+		}
+
+		opts := DefaultOptions()
+		opts.Engine = EngineFrontier
+		base, err := Reconcile(g1, g2, seeds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		permuted, err := Reconcile(g1p, g2p, seedsP, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base.Pairs) != len(permuted.Pairs) {
+			t.Fatalf("seed %d: pair counts differ: %d vs %d", seed, len(base.Pairs), len(permuted.Pairs))
+		}
+		want := make(map[graph.Pair]bool, len(base.Pairs))
+		for _, p := range base.Pairs {
+			want[graph.Pair{Left: perm1[p.Left], Right: perm2[p.Right]}] = true
+		}
+		for _, p := range permuted.Pairs {
+			if !want[p] {
+				t.Fatalf("seed %d: pair %v not the image of a base pair", seed, p)
+			}
+		}
+		// And the relabeled run itself must still be bit-identical to the
+		// sequential engine on the relabeled instance.
+		opts.Engine = EngineSequential
+		seqP, err := Reconcile(g1p, g2p, seedsP, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsIdentical(seqP, permuted) {
+			t.Fatalf("seed %d: frontier diverges from sequential on relabeled instance", seed)
+		}
+	}
+}
+
 func TestMatchingAdd(t *testing.T) {
 	m, err := NewMatching(3, 3, []graph.Pair{{Left: 0, Right: 0}})
 	if err != nil {

@@ -1,0 +1,497 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// EngineFrontier is a scheduling optimization, never a semantic change: its
+// output is bit-identical to EngineSequential and EngineParallel for every
+// option combination (the equivalence, fuzz and equivariance suites pin
+// this). The full engines re-score every node on both sides in each of the
+// k·log D bucket passes even though a node's proposal can only change when a
+// link is committed near it. The frontier engine instead keeps, per side,
+//
+//   - a persistent proposal cache: for every node, its best-candidate
+//     proposal at every bucket level of the schedule, computed in one pass
+//     over the node's candidate set (the witness accumulation does not depend
+//     on the degree floor — the floor only gates which accumulated candidates
+//     are eligible — so all levels can be derived from one accumulation);
+//   - a dirty worklist of nodes whose cached proposals may be stale, seeded
+//     from the initial links with every unmatched node whose linked-neighbor
+//     count reaches the threshold (nodes below it provably abstain — the
+//     zero-initialized row — until a new link queues them).
+//
+// A bucket pass refreshes the dirty nodes, runs the same ascending
+// mutual-best commit scan as the full engines over the cached proposals, and
+// then invalidates exactly the nodes whose scoring inputs a committed link
+// (a, b) touched:
+//
+//   - N1(a) / N2(b): they gained a witness source (and their linked-neighbor
+//     count changed);
+//   - every node that could reach the newly matched partner as a candidate —
+//     for the left side, N1(partner(u2)) for each already-matched u2 ∈ N2(b)
+//     — because the partner's exclusion can change best, ties and margins.
+//
+// Matchings only grow and a node's proposal depends on nothing else, so a
+// clean cache entry equals what a fresh scoring would produce. Steady-state
+// sweeps (and incremental AddSeeds runs) touch only the neighborhoods of new
+// links instead of both full node sets; the engine degenerates to full
+// rescans only while most of the graph is within two hops of a fresh link —
+// i.e. when almost every pass commits links everywhere, in which case it does
+// the same work as the full engines.
+type frontierState struct {
+	levels    []int // descending 2^j degree floors, one per bucket pass of a sweep
+	topExp    int   // log2(levels[0])
+	threshold int32 // Options.Threshold, fixed for the session
+
+	left  frontierSide
+	right frontierSide
+
+	// rescored counts nodes drained from the worklists over the session's
+	// lifetime — the engine's total scoring work. The full engines'
+	// equivalent is (n1+n2) × passes; tests assert the frontier stays far
+	// below that and goes fully idle once a sweep commits nothing.
+	rescored int64
+}
+
+// frontierSide is the per-side persistent state: the proposal cache and the
+// dirty worklist.
+type frontierSide struct {
+	// cache holds each node's proposal at every bucket level, row-major:
+	// cache[v*len(levels)+j] is node v's proposal at schedule level j. Rows of
+	// matched nodes are stale and gated out by the commit scan's Matching
+	// check.
+	cache   []candidate
+	nLevels int
+	// queued[v] reports whether v is on dirty; it dedups invalidations
+	// between refreshes.
+	queued []bool
+	// dirty lists the nodes to re-score before the next commit scan.
+	dirty []graph.NodeID
+
+	run     []graph.NodeID    // scratch: the eligible slice of a drain
+	scratch []*frontierScorer // per-worker scoring scratch, reused across passes
+}
+
+func newFrontierState(g1, g2 *graph.Graph, m *Matching, lc *linkedCounts, opts Options) *frontierState {
+	levels := opts.buckets(g1, g2)
+	f := &frontierState{
+		levels:    levels,
+		topExp:    bits.Len(uint(levels[0])) - 1,
+		threshold: int32(opts.Threshold),
+	}
+	f.left.init(g1.NumNodes(), len(levels), m.left, lc.left, f.threshold)
+	f.right.init(g2.NumNodes(), len(levels), m.right, lc.right, f.threshold)
+	return f
+}
+
+// init sizes the side and seeds the worklist from the initial links. Only
+// nodes that could propose at all are queued: an unmatched node with at
+// least threshold linked neighbors. Everything else already has its correct
+// row — the zero row is exactly the abstention a scoring would cache — and
+// is queued by invalidatePair the moment a new link changes that.
+func (s *frontierSide) init(n, nLevels int, selfMatched []graph.NodeID, linked []int32, threshold int32) {
+	s.cache = make([]candidate, n*nLevels)
+	s.nLevels = nLevels
+	s.queued = make([]bool, n)
+	s.dirty = make([]graph.NodeID, 0, n)
+	for v := 0; v < n; v++ {
+		if selfMatched[v] == NoMatch && linked[v] >= threshold {
+			s.queued[v] = true
+			s.dirty = append(s.dirty, graph.NodeID(v))
+		}
+	}
+}
+
+// mark queues v for re-scoring unless already queued.
+func (s *frontierSide) mark(v graph.NodeID) {
+	if !s.queued[v] {
+		s.queued[v] = true
+		s.dirty = append(s.dirty, v)
+	}
+}
+
+// bandOf returns the first (highest-floor) schedule index whose floor is
+// <= d, i.e. the earliest bucket pass at which a partner of degree d is
+// eligible. Levels are consecutive descending powers of two, so this is pure
+// bit arithmetic. d must be >= levels[len(levels)-1].
+func (f *frontierState) bandOf(d int) int {
+	b := f.topExp - (bits.Len(uint(d)) - 1)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// runBucket performs one frontier bucket pass at schedule level `level`
+// (floor minDeg == levels[level]): refresh stale proposals, commit mutual
+// bests in the same ascending order as the full engines, then invalidate
+// around the new links. Returns the number of links committed.
+func (f *frontierState) runBucket(g1, g2 *graph.Graph, m *Matching, lc *linkedCounts, level, minDeg int, opts Options) int {
+	f.refreshSide(fromLeft, g1, g2, m, lc, minDeg, opts)
+	f.refreshSide(fromRight, g1, g2, m, lc, minDeg, opts)
+
+	nLevels := len(f.levels)
+	n1 := g1.NumNodes()
+	start := m.Len()
+	for v1 := 0; v1 < n1; v1++ {
+		id := graph.NodeID(v1)
+		// Most rows abstain; check the cache cell before the degree lookup.
+		c := f.left.cache[v1*nLevels+level]
+		if c.score == 0 {
+			continue
+		}
+		// A node matched in an earlier pass has a stale cache row; gating on
+		// the Matching here is equivalent to the full engines' empty proposal
+		// (left nodes only become matched at their own scan index, so the
+		// check also matches the pass-start state during the scan).
+		if m.left[id] != NoMatch || g1.Degree(id) < minDeg {
+			continue
+		}
+		// The partner's own floor and threshold eligibility are already baked
+		// into the cached back-proposal: level-j candidates have degree >=
+		// levels[j], and a node below the linked-count threshold caches empty
+		// proposals.
+		back := f.right.cache[int(c.node)*nLevels+level]
+		if back.score == 0 || back.node != id {
+			continue
+		}
+		pr := graph.Pair{Left: id, Right: c.node}
+		m.add(pr)
+		lc.addPair(g1, g2, pr)
+	}
+	committed := m.pairs[start:]
+	for _, pr := range committed {
+		f.invalidatePair(g1, g2, m, lc, pr)
+	}
+	return len(committed)
+}
+
+// invalidatePair marks every node whose cached proposals the new link (a, b)
+// could have changed. Enumerating candidate-reachability with the current
+// (grown) matching visits a superset of the links present at any earlier
+// scoring, so no stale cache entry survives. Two classes of nodes are
+// invalidated, per side:
+//
+//   - witness gain: neighbors of a (resp. b) now have a matched neighbor and
+//     a changed linked-count — their scores against everything can rise;
+//   - candidate loss: nodes that could score the newly matched b (resp. a)
+//     as a candidate — via some matched u2 ∈ N2(b) — no longer may. Here the
+//     cached rows prove most nodes unaffected (see markIfAffected), so only
+//     rows that name the lost candidate or abstained are re-opened.
+//
+// Already-matched nodes are skipped throughout: they never propose again and
+// their stale rows are gated out of the commit scan by the Matching.
+func (f *frontierState) invalidatePair(g1, g2 *graph.Graph, m *Matching, lc *linkedCounts, pr graph.Pair) {
+	for _, u := range g1.Neighbors(pr.Left) {
+		if m.left[u] == NoMatch && lc.left[u] >= f.threshold {
+			f.left.mark(u)
+		}
+	}
+	for _, u2 := range g2.Neighbors(pr.Right) {
+		if u1 := m.right[u2]; u1 != NoMatch {
+			for _, w := range g1.Neighbors(u1) {
+				f.left.markIfAffected(w, pr.Right, m.left, lc.left, f.threshold)
+			}
+		}
+	}
+	// Right side, symmetric.
+	for _, u2 := range g2.Neighbors(pr.Right) {
+		if m.right[u2] == NoMatch && lc.right[u2] >= f.threshold {
+			f.right.mark(u2)
+		}
+	}
+	for _, u1 := range g1.Neighbors(pr.Left) {
+		if u2 := m.left[u1]; u2 != NoMatch {
+			for _, w := range g2.Neighbors(u2) {
+				f.right.markIfAffected(w, pr.Left, m.right, lc.right, f.threshold)
+			}
+		}
+	}
+}
+
+// markIfAffected queues v after the candidate `lost` became ineligible, but
+// only when v's cached row could actually change:
+//
+//   - v matched: never proposes again — skip;
+//   - v's linked-count below the threshold (and unqueued, so unchanged since
+//     its scoring): the row is a cached abstention that removing a candidate
+//     cannot flip — skip;
+//   - a level proposes `lost`: stale — queue;
+//   - a level abstained (score 0): `lost` may have been the blocking tie or
+//     margin runner-up — queue;
+//   - a level proposes someone else: removing a non-selected candidate
+//     cannot change the selection — the argmax stays the argmax (under
+//     TieReject a surviving proposal means `lost` scored strictly below it;
+//     under TieLowestID the selected node is the lowest-ID argmax, which
+//     `lost` ≠ best tied with it cannot displace), the witness count is
+//     untouched, and the margin gate only loosens as competitors leave —
+//     skip.
+func (s *frontierSide) markIfAffected(v, lost graph.NodeID, selfMatched []graph.NodeID, linked []int32, threshold int32) {
+	if s.queued[v] || selfMatched[v] != NoMatch || linked[v] < threshold {
+		return
+	}
+	row := s.cache[int(v)*s.nLevels : (int(v)+1)*s.nLevels]
+	for _, c := range row {
+		if c.score == 0 || c.node == lost {
+			s.queued[v] = true
+			s.dirty = append(s.dirty, v)
+			return
+		}
+	}
+}
+
+// frontierGrain is the minimum dirty-worklist share per goroutine before the
+// refresh fans out; below it the spawn overhead dominates.
+const frontierGrain = 256
+
+// refreshSide re-scores the queued nodes on one side that this pass can
+// actually read — those with degree >= minDeg; the rest cannot propose or be
+// proposed at this floor, so they stay queued and are scored at their first
+// eligible (lower-floor) pass, collapsing any dirtying in between. Workers
+// (if any) write disjoint cache rows from read-only shared state, so the
+// result is independent of scheduling.
+func (f *frontierState) refreshSide(dir passDirection, g1, g2 *graph.Graph, m *Matching, lc *linkedCounts, minDeg int, opts Options) {
+	side := &f.left
+	ga, nPartners := g1, g2.NumNodes()
+	if dir == fromRight {
+		side = &f.right
+		ga, nPartners = g2, g1.NumNodes()
+	}
+	if len(side.dirty) == 0 {
+		return
+	}
+	floor := f.levels[len(f.levels)-1]
+	deferred := side.dirty[:0]
+	work := side.run[:0]
+	for _, v := range side.dirty {
+		if d := ga.Degree(v); d < minDeg {
+			if d < floor {
+				// Below the schedule's lowest floor: never proposes, never a
+				// candidate — its row is never read, so drop it for good.
+				side.queued[v] = false
+				continue
+			}
+			deferred = append(deferred, v)
+			continue
+		}
+		side.queued[v] = false
+		work = append(work, v)
+	}
+	side.dirty = deferred
+	side.run = work
+	if len(work) == 0 {
+		return
+	}
+	f.rescored += int64(len(work))
+	// Accumulate candidates down to the schedule's lowest floor; per-level
+	// eligibility is applied during derivation.
+	p := opts.passParams(f.levels[len(f.levels)-1])
+
+	workers := opts.workers()
+	if max := len(work) / frontierGrain; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		sc := side.scorer(0, nPartners, p.weighted, len(f.levels))
+		for _, v := range work {
+			f.rescoreNode(dir, sc, v, g1, g2, m, lc, p)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(work) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(work) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(work) {
+				hi = len(work)
+			}
+			sc := side.scorer(w, nPartners, p.weighted, len(f.levels))
+			wg.Add(1)
+			go func(sc *frontierScorer, part []graph.NodeID) {
+				defer wg.Done()
+				for _, v := range part {
+					f.rescoreNode(dir, sc, v, g1, g2, m, lc, p)
+				}
+			}(sc, work[lo:hi])
+		}
+		wg.Wait()
+	}
+}
+
+// scorer returns the side's persistent scratch for worker i, growing the pool
+// on first use.
+func (s *frontierSide) scorer(i, nPartners int, weighted bool, nLevels int) *frontierScorer {
+	for len(s.scratch) <= i {
+		s.scratch = append(s.scratch, newFrontierScorer(nPartners, weighted, nLevels))
+	}
+	return s.scratch[i]
+}
+
+// rescoreNode recomputes v's cache row — its proposal at every bucket level —
+// from the current matching state.
+func (f *frontierState) rescoreNode(dir passDirection, sc *frontierScorer, v graph.NodeID, g1, g2 *graph.Graph, m *Matching, lc *linkedCounts, p passParams) {
+	ga, gb, link, selfMatched, partnerMatched := passViews(dir, g1, g2, m)
+	linked := lc.left
+	cache := f.left.cache
+	if dir == fromRight {
+		linked = lc.right
+		cache = f.right.cache
+	}
+	nLevels := len(f.levels)
+	row := cache[int(v)*nLevels : (int(v)+1)*nLevels]
+	if selfMatched[v] != NoMatch {
+		// Matched nodes never propose again; the commit scan gates their
+		// stale rows on the Matching.
+		return
+	}
+	if linked[v] < p.threshold {
+		// The node's score with any partner is bounded by its linked-neighbor
+		// count; cache the abstention (valid until the count changes, which
+		// re-queues the node).
+		for j := range row {
+			row[j] = candidate{}
+		}
+		return
+	}
+	sc.allLevels(v, ga, gb, link, partnerMatched, p, f, row)
+}
+
+// frontierScorer is the per-worker scratch for all-levels scoring: the same
+// dense score/weight arrays as scorer, plus the touched partners grouped by
+// the bucket level at which they first become eligible.
+type frontierScorer struct {
+	scores  []int32
+	weights []float32 // nil unless weighted scoring is on
+	touched []graph.NodeID
+	bands   [][]graph.NodeID
+}
+
+func newFrontierScorer(nPartners int, weighted bool, nLevels int) *frontierScorer {
+	s := &frontierScorer{
+		scores: make([]int32, nPartners),
+		bands:  make([][]graph.NodeID, nLevels),
+	}
+	if weighted {
+		s.weights = make([]float32, nPartners)
+	}
+	return s
+}
+
+// allLevels computes out[j] — v's proposal at every schedule level j — in one
+// accumulation pass. The witness accumulation is identical to
+// scorer.bestFor's (same iteration order, so weighted float sums are
+// bit-identical); the degree floor only gates which candidates participate
+// in the selection, so the per-level selections are derived by adding
+// candidates band by band as the floor descends, maintaining the running
+// best/tie state and the top-two witness counts for the margin rule.
+func (sc *frontierScorer) allLevels(
+	v graph.NodeID,
+	ga, gb *graph.Graph,
+	link, partnerMatched []graph.NodeID,
+	p passParams,
+	f *frontierState,
+	out []candidate,
+) {
+	for _, u := range ga.Neighbors(v) {
+		u2 := link[u]
+		if u2 == NoMatch {
+			continue
+		}
+		var wt float32
+		if sc.weights != nil {
+			wt = witnessWeight(ga.Degree(u), gb.Degree(u2))
+		}
+		for _, w := range gb.Neighbors(u2) {
+			if partnerMatched[w] != NoMatch {
+				continue
+			}
+			d := gb.Degree(w)
+			if d < p.minDeg {
+				continue
+			}
+			if sc.scores[w] == 0 {
+				sc.touched = append(sc.touched, w)
+				b := f.bandOf(d)
+				sc.bands[b] = append(sc.bands[b], w)
+			}
+			sc.scores[w]++
+			if sc.weights != nil {
+				sc.weights[w] += wt
+			}
+		}
+	}
+
+	var (
+		best    graph.NodeID
+		bestKey float64
+		tie     bool
+		have    bool
+		cnt1    int32 // top witness count among candidates so far
+		mult1   int32 // how many candidates attain cnt1
+		cnt2    int32 // runner-up witness count
+	)
+	for j := range out {
+		for _, w := range sc.bands[j] {
+			k := float64(sc.scores[w])
+			if sc.weights != nil {
+				k = float64(sc.weights[w])
+			}
+			switch {
+			case !have || k > bestKey:
+				best, bestKey, tie, have = w, k, false, true
+			case k == bestKey:
+				if p.ties == TieLowestID && w < best {
+					best = w
+				}
+				tie = true
+			}
+			c := sc.scores[w]
+			switch {
+			case c > cnt1:
+				cnt1, cnt2, mult1 = c, cnt1, 1
+			case c == cnt1:
+				mult1++
+			case c > cnt2:
+				cnt2 = c
+			}
+		}
+		if !have {
+			out[j] = candidate{}
+			continue
+		}
+		selCount := sc.scores[best]
+		// Max witness count among candidates other than the selected one.
+		maxOther := cnt1
+		if selCount == cnt1 && mult1 == 1 {
+			maxOther = cnt2
+		}
+		switch {
+		case selCount < p.threshold:
+			out[j] = candidate{}
+		case tie && p.ties == TieReject:
+			out[j] = candidate{}
+		case p.minMargin > 0 && selCount-maxOther < p.minMargin:
+			out[j] = candidate{}
+		default:
+			out[j] = candidate{node: best, score: selCount}
+		}
+	}
+
+	for _, w := range sc.touched {
+		sc.scores[w] = 0
+		if sc.weights != nil {
+			sc.weights[w] = 0
+		}
+	}
+	sc.touched = sc.touched[:0]
+	for j := range sc.bands {
+		sc.bands[j] = sc.bands[j][:0]
+	}
+}

@@ -33,6 +33,7 @@ type Session struct {
 	opts     Options
 	m        *Matching
 	lc       *linkedCounts
+	fr       *frontierState // persistent scheduling state, EngineFrontier only
 	phases   []PhaseStat
 	sweeps   int
 	progress func(PhaseEvent)
@@ -52,13 +53,17 @@ func NewSession(g1, g2 *graph.Graph, seeds []graph.Pair, opts Options) (*Session
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		g1:   g1,
 		g2:   g2,
 		opts: opts,
 		m:    m,
 		lc:   newLinkedCounts(g1, g2, m),
-	}, nil
+	}
+	if opts.Engine == EngineFrontier {
+		s.fr = newFrontierState(g1, g2, m, s.lc, opts)
+	}
+	return s, nil
 }
 
 // AddSeeds injects newly learned trusted links. A seed whose endpoints are
@@ -74,6 +79,9 @@ func (s *Session) AddSeeds(seeds []graph.Pair) error {
 			return err
 		}
 		s.lc.addPair(s.g1, s.g2, p)
+		if s.fr != nil {
+			s.fr.invalidatePair(s.g1, s.g2, s.m, s.lc, p)
+		}
 	}
 	return nil
 }
@@ -110,7 +118,12 @@ func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 					return found, err
 				}
 			}
-			matched := runBucket(s.g1, s.g2, s.m, s.lc, minDeg, s.opts)
+			var matched int
+			if s.fr != nil {
+				matched = s.fr.runBucket(s.g1, s.g2, s.m, s.lc, bi, minDeg, s.opts)
+			} else {
+				matched = runBucket(s.g1, s.g2, s.m, s.lc, minDeg, s.opts)
+			}
 			found += matched
 			s.phases = append(s.phases, PhaseStat{
 				Iteration: s.sweeps,

@@ -128,9 +128,17 @@ type Scoring = core.Scoring
 type NoisyCopyParams = sampling.NoisyCopyParams
 
 // Execution, tie-break and scoring policies (see core.Options).
+//
+// EngineFrontier — the default — re-scores only nodes whose scoring inputs
+// changed since their last scoring (the dirty frontier around freshly
+// committed links), caching per-bucket proposals across passes.
+// EngineParallel re-scans all candidates every pass with a goroutine pool;
+// EngineSequential is the single-threaded reference. All three produce
+// bit-identical matchings for every option combination.
 const (
 	EngineParallel    = core.EngineParallel
 	EngineSequential  = core.EngineSequential
+	EngineFrontier    = core.EngineFrontier
 	TieReject         = core.TieReject
 	TieLowestID       = core.TieLowestID
 	ScoreWitnessCount = core.ScoreWitnessCount
@@ -248,12 +256,15 @@ func CorruptSeeds(r *Rand, seeds []Pair, n2 int, flip float64) []Pair {
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
-// experiments (T=2, two sweeps, bucketing to degree 2, parallel engine).
+// experiments (T=2, two sweeps, bucketing to degree 2) on the frontier
+// engine.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Reconcile runs User-Matching over the two observed networks and the seed
 // links, returning the expanded identification. Deterministic for fixed
-// inputs and options.
+// inputs and options. For one-shot dense batch runs — the frontier engine's
+// degenerate case — set opts.Engine = EngineParallel (see "Choosing an
+// engine" in README.md); the result is identical either way.
 //
 // Deprecated: use New with WithSeeds and WithOptions (or the individual
 // With functions), then Run — which adds context cancellation, incremental

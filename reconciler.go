@@ -46,7 +46,9 @@ func WithThreshold(t int) Option { return func(s *settings) { s.opts.Threshold =
 // (default 2).
 func WithIterations(k int) Option { return func(s *settings) { s.opts.Iterations = k } }
 
-// WithEngine selects the execution strategy (default EngineParallel).
+// WithEngine selects the execution strategy (default EngineFrontier, the
+// incremental scheduler; EngineParallel and EngineSequential re-scan all
+// candidates every pass). All engines produce bit-identical matchings.
 func WithEngine(e Engine) Option { return func(s *settings) { s.opts.Engine = e } }
 
 // WithScoring selects the candidate ranking function (default
@@ -57,8 +59,9 @@ func WithScoring(sc Scoring) Option { return func(s *settings) { s.opts.Scoring 
 // (default TieReject).
 func WithTieBreak(t TieBreak) Option { return func(s *settings) { s.opts.Ties = t } }
 
-// WithWorkers bounds the parallel engine's goroutines; 0 (the default) means
-// GOMAXPROCS.
+// WithWorkers bounds the engine's goroutines — the parallel engine's
+// candidate scan and the frontier engine's re-scoring batches; 0 (the
+// default) means GOMAXPROCS.
 func WithWorkers(n int) Option { return func(s *settings) { s.opts.Workers = n } }
 
 // WithMargin requires the best candidate's witness count to exceed the
