@@ -14,6 +14,7 @@ package reconcile_test
 
 import (
 	"context"
+	"io"
 	"testing"
 
 	"github.com/sociograph/reconcile"
@@ -268,7 +269,22 @@ func BenchmarkReconcileParallelIncremental(b *testing.B) {
 	benchIncremental(b, reconcile.EngineParallel)
 }
 
+// BenchmarkReconcileFrontierIncrementalCheckpoint is the incremental
+// workload with a durable checkpoint taken at every sweep boundary (state
+// encoded to a discarded stream — the serve job store's cadence minus the
+// disk). The delta against BenchmarkReconcileFrontierIncremental is the
+// per-checkpoint cost a -data-dir deployment pays; BENCH_snapshot.json
+// records both, and DESIGN.md's Durability section discusses choosing a
+// cadence.
+func BenchmarkReconcileFrontierIncrementalCheckpoint(b *testing.B) {
+	benchIncrementalCheckpoint(b, reconcile.EngineFrontier, true)
+}
+
 func benchIncremental(b *testing.B, engine reconcile.Engine) {
+	benchIncrementalCheckpoint(b, engine, false)
+}
+
+func benchIncrementalCheckpoint(b *testing.B, engine reconcile.Engine, checkpoint bool) {
 	inst := makeInstance(10000, 10)
 	hold := 20
 	if len(inst.seeds) <= hold {
@@ -278,8 +294,21 @@ func benchIncremental(b *testing.B, engine reconcile.Engine) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		rec, err := reconcile.New(inst.g1, inst.g2,
-			reconcile.WithEngine(engine), reconcile.WithSeeds(early))
+		opts := []reconcile.Option{reconcile.WithEngine(engine), reconcile.WithSeeds(early)}
+		var rec *reconcile.Reconciler
+		if checkpoint {
+			// Checkpoint at every sweep boundary, like cmd/serve's store; the
+			// hook runs between buckets on the run goroutine, where state is
+			// exportable.
+			opts = append(opts, reconcile.WithProgress(func(e reconcile.PhaseEvent) {
+				if e.Bucket == e.Buckets {
+					if err := rec.SnapshotState(io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+		rec, err := reconcile.New(inst.g1, inst.g2, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}

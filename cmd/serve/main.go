@@ -4,26 +4,44 @@
 //
 // Usage:
 //
-//	serve -addr :8080
+//	serve -addr :8080 [-data-dir /var/lib/reconcile]
+//
+// With -data-dir the server is crash-safe: every job is persisted to a
+// durable store (graphs once, state checkpointed atomically at each sweep
+// boundary and on completion), all jobs are re-listed after a restart with
+// their results intact, and a job that was mid-run when the process died
+// comes back as "interrupted" — POST /v1/jobs/{id}/resume finishes it with
+// a matching bit-identical to a never-interrupted run. Without -data-dir
+// jobs live in RAM only.
 //
 // API (all bodies JSON):
 //
-//	POST /v1/jobs                submit {g1, g2, seeds, options, untilStable,
-//	                             maxSweeps}; answers 202 {id, status} and
-//	                             runs the job asynchronously. untilStable
-//	                             sweeps until nothing new is found (bounded
-//	                             by maxSweeps, default 50); otherwise the
-//	                             job performs options.iterations sweeps and
-//	                             maxSweeps is ignored
-//	GET  /v1/jobs                list all jobs
-//	GET  /v1/jobs/{id}           job status, link counts and per-bucket
-//	                             phase statistics (streamed live while the
-//	                             job runs); ?pairs=1 appends the links once
-//	                             the job has stopped
-//	POST /v1/jobs/{id}/seeds     ingest {seeds: [[l, r], ...]} incrementally
-//	                             and resume sweeping until stable
-//	POST /v1/jobs/{id}/cancel    stop the job at the next bucket boundary
-//	GET  /healthz                liveness
+//	POST /v1/jobs                  submit {g1, g2, seeds, options,
+//	                               untilStable, maxSweeps}; answers 202
+//	                               {id, status} and runs the job
+//	                               asynchronously. untilStable sweeps until
+//	                               nothing new is found (bounded by
+//	                               maxSweeps, default 50); otherwise the
+//	                               job performs options.iterations sweeps
+//	                               and maxSweeps is ignored
+//	GET  /v1/jobs                  list all jobs
+//	GET  /v1/jobs/{id}             job status, link counts and per-bucket
+//	                               phase statistics (streamed live while
+//	                               the job runs); ?pairs=1 appends the
+//	                               links once the job has stopped
+//	POST /v1/jobs/{id}/seeds       ingest {seeds: [[l, r], ...]}
+//	                               incrementally and resume sweeping until
+//	                               stable
+//	POST /v1/jobs/{id}/cancel      stop the job at the next bucket boundary
+//	POST /v1/jobs/{id}/checkpoint  force a durable checkpoint: immediately
+//	                               for an idle job (200), at the next phase
+//	                               boundary for a running one (202);
+//	                               requires -data-dir (409 otherwise)
+//	POST /v1/jobs/{id}/resume      continue an interrupted or cancelled job
+//	                               from its last state, finishing the
+//	                               schedule bit-identically to an
+//	                               uninterrupted run
+//	GET  /healthz                  liveness
 //
 // Graphs are submitted as {"nodes": n, "edges": [[u, v], ...]} with dense
 // 0-based IDs; seeds and returned pairs are [left, right] arrays. Options
@@ -44,9 +62,23 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "job store directory; enables crash-safe durable jobs (empty: in-memory only)")
 	flag.Parse()
 
-	s := newServer()
+	var st *store
+	if *dataDir != "" {
+		var err error
+		if st, err = newStore(*dataDir); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+	s, skipped := newServer(st)
+	for _, err := range skipped {
+		log.Printf("serve: skipping persisted job: %v", err)
+	}
+	if st != nil {
+		log.Printf("serve: job store at %s (%d jobs restored)", *dataDir, len(s.jobs))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),

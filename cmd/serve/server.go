@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"sync"
@@ -20,6 +22,10 @@ const (
 	statusDone      jobStatus = "done"
 	statusCancelled jobStatus = "cancelled"
 	statusFailed    jobStatus = "failed"
+	// statusInterrupted marks a job that was running when the server died;
+	// its last checkpoint is intact and POST /v1/jobs/{id}/resume finishes
+	// the run bit-identically to an uninterrupted one.
+	statusInterrupted jobStatus = "interrupted"
 )
 
 // graphSpec is a graph in the wire format: a node count and an edge list.
@@ -79,21 +85,51 @@ type jobView struct {
 
 // job is one reconciliation run owned by the server. The job mutex guards
 // everything below it; the Reconciler itself is only driven by the single
-// run goroutine (or, between runs, by the seeds handler), never concurrently.
+// run goroutine (or, between runs, by the seeds/checkpoint/resume handlers),
+// never concurrently.
 type job struct {
-	id     string
-	num    int // creation order (job IDs sort lexicographically past 9)
-	n1, n2 int // node counts, for validating incremental seeds up front
+	id          string
+	num         int // creation order (job IDs sort lexicographically past 9)
+	n1, n2      int // node counts, for validating incremental seeds up front
+	store       *store
+	untilStable bool
+	maxSweeps   int
 
-	mu      sync.Mutex
-	rec     *reconcile.Reconciler
-	cancel  context.CancelFunc
-	status  jobStatus
-	phases  []phaseJSON
-	errMsg  string
-	seeds   int
-	links   int
-	pending sync.WaitGroup // run goroutine in flight (tests wait on it)
+	mu             sync.Mutex
+	rec            *reconcile.Reconciler
+	cancel         context.CancelFunc
+	status         jobStatus
+	phases         []phaseJSON
+	errMsg         string
+	seeds          int
+	links          int
+	wantCheckpoint bool           // one-shot: checkpoint at the next phase boundary
+	pending        sync.WaitGroup // run goroutine in flight (tests wait on it)
+}
+
+// meta snapshots the job's bookkeeping for persistence. Caller holds j.mu.
+func (j *job) metaLocked() jobMeta {
+	return jobMeta{
+		ID:          j.id,
+		Num:         j.num,
+		Status:      j.status,
+		Error:       j.errMsg,
+		Seeds:       j.seeds,
+		UntilStable: j.untilStable,
+		MaxSweeps:   j.maxSweeps,
+		Phases:      append([]phaseJSON(nil), j.phases...),
+	}
+}
+
+// persistLocked checkpoints the job's state and meta to the store, if any.
+// Caller holds j.mu and must be the goroutine driving the Reconciler (the
+// run goroutine inside a progress hook, or a handler while no run is in
+// flight) — ExportState is only safe at a phase boundary.
+func (j *job) persistLocked() error {
+	if j.store == nil {
+		return nil
+	}
+	return j.store.checkpoint(j.rec, j.metaLocked())
 }
 
 // view snapshots the job for JSON rendering.
@@ -117,16 +153,121 @@ func (j *job) view(includePairs bool) jobView {
 	return v
 }
 
-// server is the reconciliation service: an in-memory job table over the
-// Reconciler API.
+// server is the reconciliation service: a job table over the Reconciler API,
+// optionally backed by a crash-safe on-disk store (-data-dir).
 type server struct {
+	store *store // nil: jobs live in RAM only
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	nextID int
 }
 
-func newServer() *server {
-	return &server{jobs: make(map[string]*job)}
+// newServer builds the service. With a store, previously persisted jobs are
+// restored from their last checkpoints and re-listed: finished jobs keep
+// their terminal status and full results; jobs that were running when the
+// process died come back as "interrupted" and can be finished with POST
+// /v1/jobs/{id}/resume. Unreadable or half-written jobs are skipped, not
+// fatal — crash recovery must not brick the service.
+func newServer(st *store) (*server, []error) {
+	s := &server{store: st, jobs: make(map[string]*job)}
+	if st == nil {
+		return s, nil
+	}
+	loaded, maxNum, skipped := st.loadAll()
+	s.nextID = maxNum
+	for _, p := range loaded {
+		j := &job{
+			id:          p.meta.ID,
+			num:         p.meta.Num,
+			n1:          p.g1.NumNodes(),
+			n2:          p.g2.NumNodes(),
+			store:       st,
+			untilStable: p.meta.UntilStable,
+			maxSweeps:   p.meta.MaxSweeps,
+			status:      p.meta.Status,
+			errMsg:      p.meta.Error,
+			seeds:       p.meta.Seeds,
+		}
+		rec, err := reconcile.RestoreState(p.g1, p.g2, bytes.NewReader(p.state),
+			reconcile.WithProgress(s.progressHook(j)))
+		if err != nil {
+			skipped = append(skipped, fmt.Errorf("store: job %s: %w", p.meta.ID, err))
+			continue
+		}
+		j.rec = rec
+		// The state checkpoint is the durable truth (it lands before the
+		// meta, so a crash between the two renames leaves the meta one phase
+		// batch behind); rebuild the wire counters and phase log from it.
+		j.links = rec.Len()
+		j.phases = wirePhases(rec)
+		if j.status == statusRunning {
+			j.status = statusInterrupted
+			j.errMsg = "server stopped mid-run; POST /v1/jobs/" + j.id + "/resume to finish"
+		}
+		s.jobs[j.id] = j
+	}
+	return s, skipped
+}
+
+// wirePhases reconstructs the wire-form phase log from a Reconciler's own
+// phase statistics. Every sweep runs the full bucket schedule in order, so
+// the bucket index is the entry's position within its sweep.
+func wirePhases(rec *reconcile.Reconciler) []phaseJSON {
+	g1, g2 := rec.Graphs()
+	buckets := len(rec.Options().BucketSchedule(g1, g2))
+	var out []phaseJSON
+	for i, ph := range rec.Result().Phases {
+		out = append(out, phaseJSON{
+			Iteration: ph.Iteration,
+			Bucket:    i%buckets + 1,
+			Buckets:   buckets,
+			MinDegree: ph.MinDegree,
+			Matched:   ph.Matched,
+			Total:     ph.TotalL,
+		})
+	}
+	return out
+}
+
+// progressHook streams phase events into the job under its lock, so a
+// concurrent GET sees bucket-by-bucket statistics live; with a store it also
+// checkpoints at every sweep boundary (and at any phase boundary an explicit
+// checkpoint request is waiting on). The hook runs on the run goroutine
+// between buckets, exactly where session state is exportable.
+func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
+	return func(e reconcile.PhaseEvent) {
+		j.mu.Lock()
+		j.phases = append(j.phases, phaseJSON{
+			Iteration: e.Iteration,
+			Bucket:    e.Bucket,
+			Buckets:   e.Buckets,
+			MinDegree: e.MinDegree,
+			Matched:   e.Matched,
+			Total:     e.TotalLinks,
+		})
+		j.links = e.TotalLinks
+		persist := j.store != nil && (e.Bucket == e.Buckets || j.wantCheckpoint)
+		var meta jobMeta
+		var rec *reconcile.Reconciler
+		if persist {
+			j.wantCheckpoint = false
+			meta = j.metaLocked()
+			rec = j.rec
+		}
+		j.mu.Unlock()
+		if !persist {
+			return
+		}
+		// The encode and fsync run outside j.mu so reads stay responsive
+		// during checkpoints. This is safe: the job is running, so this run
+		// goroutine is the only driver of the Reconciler (every handler that
+		// would touch it refuses running jobs), and the bookkeeping snapshot
+		// was taken under the lock.
+		if err := j.store.checkpoint(rec, meta); err != nil {
+			log.Printf("serve: checkpoint of %s: %v", j.id, err)
+		}
+	}
 }
 
 // handler routes the v1 API.
@@ -140,6 +281,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("POST /v1/jobs/{id}/seeds", s.addSeeds)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancelJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/checkpoint", s.checkpointJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.resumeJob)
 	return mux
 }
 
@@ -255,35 +398,28 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	maxSweeps := req.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 50
+	}
 	s.mu.Lock()
 	s.nextID++
 	j := &job{
-		id:     fmt.Sprintf("job-%d", s.nextID),
-		num:    s.nextID,
-		n1:     req.G1.Nodes,
-		n2:     req.G2.Nodes,
-		status: statusRunning,
+		id:          fmt.Sprintf("job-%d", s.nextID),
+		num:         s.nextID,
+		n1:          req.G1.Nodes,
+		n2:          req.G2.Nodes,
+		store:       s.store,
+		untilStable: req.UntilStable,
+		maxSweeps:   maxSweeps,
+		status:      statusRunning,
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
-	// The progress hook streams phase events into the job under its lock,
-	// so a concurrent GET sees bucket-by-bucket statistics live.
 	opts = append(opts,
 		reconcile.WithSeeds(toPairs(req.Seeds)),
-		reconcile.WithProgress(func(e reconcile.PhaseEvent) {
-			j.mu.Lock()
-			j.phases = append(j.phases, phaseJSON{
-				Iteration: e.Iteration,
-				Bucket:    e.Bucket,
-				Buckets:   e.Buckets,
-				MinDegree: e.MinDegree,
-				Matched:   e.Matched,
-				Total:     e.TotalLinks,
-			})
-			j.links = e.TotalLinks
-			j.mu.Unlock()
-		}))
+		reconcile.WithProgress(s.progressHook(j)))
 
 	rec, err := reconcile.New(g1, g2, opts...)
 	if err != nil {
@@ -299,12 +435,26 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 	j.cancel = cancel
 	j.seeds = rec.Len()
 	j.links = rec.Len()
+	// Make the job durable before acknowledging it: graphs once, then the
+	// initial checkpoint. A submission the store cannot hold is refused
+	// whole rather than accepted into a state a crash would lose.
+	if s.store != nil {
+		err := s.store.saveGraphs(j.id, g1, g2)
+		if err == nil {
+			err = j.persistLocked()
+		}
+		if err != nil {
+			j.mu.Unlock()
+			s.mu.Lock()
+			delete(s.jobs, j.id)
+			s.mu.Unlock()
+			cancel()
+			writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+			return
+		}
+	}
 	j.mu.Unlock()
 
-	maxSweeps := req.MaxSweeps
-	if maxSweeps <= 0 {
-		maxSweeps = 50
-	}
 	j.pending.Add(1)
 	go func() {
 		defer j.pending.Done()
@@ -321,7 +471,9 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
 }
 
-// finish records a run's outcome on the job.
+// finish records a run's outcome on the job and persists the terminal state
+// (for a cancelled job, that checkpoint is what a later resume finishes
+// from).
 func (j *job) finish(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -329,12 +481,16 @@ func (j *job) finish(err error) {
 	switch {
 	case err == nil:
 		j.status = statusDone
+		j.errMsg = ""
 	case errors.Is(err, context.Canceled):
 		j.status = statusCancelled
 		j.errMsg = err.Error()
 	default:
 		j.status = statusFailed
 		j.errMsg = err.Error()
+	}
+	if perr := j.persistLocked(); perr != nil {
+		log.Printf("serve: checkpoint of %s: %v", j.id, perr)
 	}
 }
 
@@ -448,7 +604,7 @@ func (s *server) addSeeds(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer j.pending.Done()
 		defer cancel()
-		_, err := rec.RunUntilStable(ctx, 50)
+		_, err := rec.RunUntilStable(ctx, j.maxSweeps)
 		j.finish(err)
 	}()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
@@ -467,4 +623,78 @@ func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
+}
+
+// checkpointJob handles POST /v1/jobs/{id}/checkpoint: force a durable
+// checkpoint now. An idle job is checkpointed synchronously (200); a running
+// job is flagged and checkpointed by its own run goroutine at the next
+// phase boundary — the only place its state is exportable (202).
+func (s *server) checkpointJob(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, "server started without -data-dir; nothing to checkpoint to")
+		return
+	}
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == statusRunning {
+		j.wantCheckpoint = true
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "checkpoint": "at next phase boundary"})
+		return
+	}
+	if err := j.persistLocked(); err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpointing: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "checkpoint": "written"})
+}
+
+// resumeJob handles POST /v1/jobs/{id}/resume: continue an interrupted or
+// cancelled job from its current state — completing a sweep the stop split,
+// then the rest of the schedule (until-stable jobs sweep to stability). The
+// finished result is bit-identical to a never-stopped run.
+func (s *server) resumeJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch j.status {
+	case statusInterrupted, statusCancelled:
+	default:
+		status := j.status
+		j.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %s is %s; only interrupted or cancelled jobs resume", j.id, status)
+		return
+	}
+	j.status = statusRunning
+	j.errMsg = ""
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	rec := j.rec
+	j.mu.Unlock()
+
+	j.pending.Add(1)
+	go func() {
+		defer j.pending.Done()
+		defer cancel()
+		var err error
+		if j.untilStable {
+			// Only the unspent sweep budget remains: an uninterrupted run
+			// would have stopped at maxSweeps total, so the resumed one must
+			// too (the sweep the stop split is completed for free).
+			remaining := j.maxSweeps - rec.Sweeps()
+			if remaining < 0 {
+				remaining = 0
+			}
+			_, err = rec.RunUntilStable(ctx, remaining)
+		} else {
+			_, err = rec.Resume(ctx)
+		}
+		j.finish(err)
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
 }

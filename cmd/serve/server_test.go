@@ -36,6 +36,17 @@ func testInstance(t *testing.T, n int, seedFrac float64) jobRequest {
 	return req
 }
 
+// newTestServer builds a server, failing the test if any persisted job was
+// skipped during restore — tests never write jobs they cannot read back.
+func newTestServer(t *testing.T, st *store) *server {
+	t.Helper()
+	s, skipped := newServer(st)
+	for _, err := range skipped {
+		t.Errorf("restore skipped a job: %v", err)
+	}
+	return s
+}
+
 func postJSON(t *testing.T, url string, body any) *http.Response {
 	t.Helper()
 	buf, err := json.Marshal(body)
@@ -79,7 +90,7 @@ func waitForJob(t *testing.T, base, id string) jobView {
 }
 
 func TestServeJobLifecycle(t *testing.T) {
-	ts := httptest.NewServer(newServer().handler())
+	ts := httptest.NewServer(newTestServer(t, nil).handler())
 	defer ts.Close()
 
 	// Submit a job.
@@ -186,7 +197,7 @@ func TestServeJobLifecycle(t *testing.T) {
 }
 
 func TestServeCancel(t *testing.T) {
-	ts := httptest.NewServer(newServer().handler())
+	ts := httptest.NewServer(newTestServer(t, nil).handler())
 	defer ts.Close()
 
 	req := testInstance(t, 2000, 0.1)
@@ -208,7 +219,7 @@ func TestServeCancel(t *testing.T) {
 }
 
 func TestServeValidation(t *testing.T) {
-	ts := httptest.NewServer(newServer().handler())
+	ts := httptest.NewServer(newTestServer(t, nil).handler())
 	defer ts.Close()
 
 	// Malformed body.
@@ -316,7 +327,7 @@ func TestServeValidation(t *testing.T) {
 // string and requires identical link counts — the HTTP surface of the
 // engines' bit-identical guarantee.
 func TestServeEngineSelection(t *testing.T) {
-	ts := httptest.NewServer(newServer().handler())
+	ts := httptest.NewServer(newTestServer(t, nil).handler())
 	defer ts.Close()
 
 	req := testInstance(t, 400, 0.2)

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/sociograph/reconcile"
+)
+
+// store is the crash-safe on-disk job store behind -data-dir. Each job owns
+// four files:
+//
+//	<id>.g1, <id>.g2      the immutable graphs, written once at submission
+//	<id>.state            the latest session-state checkpoint
+//	<id>.meta.json        job-level bookkeeping (status, counters, phases)
+//
+// Graphs use the framed binary CSR form (reconcile.WriteGraphBinary); state
+// checkpoints use reconcile.(*Reconciler).SnapshotState, so a checkpoint
+// costs O(links + frontier cache) however large the graphs are. Every write
+// is atomic — a temp file in the same directory, fsynced, then renamed — so
+// a crash mid-checkpoint leaves the previous checkpoint intact, and a
+// restored job resumes bit-identically from the last completed phase
+// boundary.
+type store struct {
+	dir string
+}
+
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// A crash between CreateTemp and rename orphans a temp file; sweep them
+	// here so checkpoint-heavy servers do not leak one per crash. Nothing
+	// else is running against the store at open time.
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp-*")); err == nil {
+		for _, path := range stale {
+			os.Remove(path)
+		}
+	}
+	return &store{dir: dir}, nil
+}
+
+// jobMeta is the JSON sidecar of a persisted job: everything the server
+// tracks about a job beyond the session state itself.
+type jobMeta struct {
+	ID          string      `json:"id"`
+	Num         int         `json:"num"`
+	Status      jobStatus   `json:"status"`
+	Error       string      `json:"error,omitempty"`
+	Seeds       int         `json:"seeds"`
+	UntilStable bool        `json:"untilStable"`
+	MaxSweeps   int         `json:"maxSweeps"`
+	Phases      []phaseJSON `json:"phases"`
+}
+
+func (st *store) path(id, suffix string) string {
+	return filepath.Join(st.dir, id+suffix)
+}
+
+// atomicWrite writes via a temp file in the same directory and renames it
+// into place, so concurrent readers and crash recovery only ever see a
+// complete previous or complete new file.
+func atomicWrite(path string, write func(*os.File) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// saveGraphs persists the job's two graphs. Called once at submission.
+func (st *store) saveGraphs(id string, g1, g2 *reconcile.Graph) error {
+	for _, f := range []struct {
+		suffix string
+		g      *reconcile.Graph
+	}{{".g1", g1}, {".g2", g2}} {
+		err := atomicWrite(st.path(id, f.suffix), func(w *os.File) error {
+			return reconcile.WriteGraphBinary(w, f.g)
+		})
+		if err != nil {
+			return fmt.Errorf("store: graphs of %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// checkpoint atomically persists the job's current session state and meta.
+// The state lands first: if the crash window falls between the two renames,
+// recovery sees a fresh state with slightly stale bookkeeping, which restore
+// reconciles (counters are re-derived from the state).
+func (st *store) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
+	err := atomicWrite(st.path(meta.ID, ".state"), func(w *os.File) error {
+		return rec.SnapshotState(w)
+	})
+	if err != nil {
+		return fmt.Errorf("store: state of %s: %w", meta.ID, err)
+	}
+	err = atomicWrite(st.path(meta.ID, ".meta.json"), func(w *os.File) error {
+		return json.NewEncoder(w).Encode(meta)
+	})
+	if err != nil {
+		return fmt.Errorf("store: meta of %s: %w", meta.ID, err)
+	}
+	return nil
+}
+
+// persisted is one job loaded back from disk.
+type persisted struct {
+	meta   jobMeta
+	g1, g2 *reconcile.Graph
+	state  []byte
+}
+
+// loadAll reads every fully-persisted job, in creation order. Jobs whose
+// files are incomplete or unreadable (e.g. a crash between submission and
+// the first checkpoint, or a snapshot from a newer format version) are
+// skipped and reported in the last return value. maxNum is the highest job
+// number present in the directory — including skipped jobs, whose number is
+// recovered from the "job-N" filename — so new submissions never reuse a
+// skipped job's ID and overwrite files a newer binary could still recover.
+func (st *store) loadAll() (out []persisted, maxNum int, skipped []error) {
+	metas, err := filepath.Glob(filepath.Join(st.dir, "*.meta.json"))
+	if err != nil {
+		return nil, 0, []error{err}
+	}
+	sort.Strings(metas)
+	for _, path := range metas {
+		id := strings.TrimSuffix(filepath.Base(path), ".meta.json")
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n > maxNum {
+			maxNum = n
+		}
+		p, err := st.load(id)
+		if err != nil {
+			skipped = append(skipped, fmt.Errorf("store: job %s: %w", id, err))
+			continue
+		}
+		if p.meta.Num > maxNum {
+			maxNum = p.meta.Num
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].meta.Num < out[b].meta.Num })
+	return out, maxNum, skipped
+}
+
+func (st *store) load(id string) (persisted, error) {
+	var p persisted
+	raw, err := os.ReadFile(st.path(id, ".meta.json"))
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(raw, &p.meta); err != nil {
+		return p, fmt.Errorf("meta: %w", err)
+	}
+	if p.meta.ID != id {
+		return p, fmt.Errorf("meta names job %q", p.meta.ID)
+	}
+	for _, f := range []struct {
+		suffix string
+		dst    **reconcile.Graph
+	}{{".g1", &p.g1}, {".g2", &p.g2}} {
+		file, err := os.Open(st.path(id, f.suffix))
+		if err != nil {
+			return p, err
+		}
+		g, err := reconcile.ReadGraphBinary(file)
+		file.Close()
+		if err != nil {
+			return p, fmt.Errorf("graph %s: %w", f.suffix, err)
+		}
+		*f.dst = g
+	}
+	if p.state, err = os.ReadFile(st.path(id, ".state")); err != nil {
+		return p, err
+	}
+	return p, nil
+}

@@ -76,11 +76,14 @@ type frontierSide struct {
 	scratch []*frontierScorer // per-worker scoring scratch, reused across passes
 }
 
+// topExpOf returns log2 of the schedule's highest degree floor.
+func topExpOf(levels []int) int { return bits.Len(uint(levels[0])) - 1 }
+
 func newFrontierState(g1, g2 *graph.Graph, m *Matching, lc *linkedCounts, opts Options) *frontierState {
 	levels := opts.buckets(g1, g2)
 	f := &frontierState{
 		levels:    levels,
-		topExp:    bits.Len(uint(levels[0])) - 1,
+		topExp:    topExpOf(levels),
 		threshold: int32(opts.Threshold),
 	}
 	f.left.init(g1.NumNodes(), len(levels), m.left, lc.left, f.threshold)

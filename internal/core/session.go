@@ -36,6 +36,7 @@ type Session struct {
 	fr       *frontierState // persistent scheduling state, EngineFrontier only
 	phases   []PhaseStat
 	sweeps   int
+	pos      int // next bucket index within the current sweep; 0 = sweep boundary
 	progress func(PhaseEvent)
 }
 
@@ -97,50 +98,68 @@ func (s *Session) Run(sweeps int) int {
 	return found
 }
 
+// Sweeps returns the number of sweeps started so far (a sweep interrupted by
+// cancellation counts: its remaining buckets run, at no extra sweep cost, at
+// the start of the next Run). Iterations - Sweeps is therefore the number of
+// sweeps still owed on the original schedule.
+func (s *Session) Sweeps() int { return s.sweeps }
+
+// Graphs returns the two networks the session reconciles. The graphs are
+// immutable and shared, not copied.
+func (s *Session) Graphs() (g1, g2 *graph.Graph) { return s.g1, s.g2 }
+
 // RunContext performs the given number of full bucket sweeps, honoring
 // cancellation and deadlines: the context is checked at every bucket-phase
-// boundary, and on expiry the sweep stops there with ctx.Err(). Links found
+// boundary, and on expiry the run stops there with ctx.Err(). Links found
 // before the stop are kept — the session remains valid, Result reflects the
-// partial progress, and a later Run picks up where this one stopped.
+// partial progress, and a later Run picks up exactly where this one stopped:
+// a sweep interrupted mid-schedule is completed first (its remaining buckets
+// do not count toward the new call's sweep budget), so an interrupted
+// schedule replays bucket for bucket as if it had never stopped. RunContext
+// with sweeps <= 0 runs nothing beyond that completion.
 func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 	found := 0
 	buckets := s.opts.buckets(s.g1, s.g2)
-	for i := 0; i < sweeps; i++ {
-		// Check before claiming a sweep number: a cancelled run must not
-		// consume an iteration label no bucket ever ran under.
+	remaining := sweeps
+	for remaining > 0 || s.pos > 0 {
+		// Check before every bucket — in particular before claiming a sweep
+		// number: a cancelled run must not consume an iteration label no
+		// bucket ever ran under.
 		if err := ctx.Err(); err != nil {
 			return found, err
 		}
-		s.sweeps++
-		for bi, minDeg := range buckets {
-			if bi > 0 {
-				if err := ctx.Err(); err != nil {
-					return found, err
-				}
-			}
-			var matched int
-			if s.fr != nil {
-				matched = s.fr.runBucket(s.g1, s.g2, s.m, s.lc, bi, minDeg, s.opts)
-			} else {
-				matched = runBucket(s.g1, s.g2, s.m, s.lc, minDeg, s.opts)
-			}
-			found += matched
-			s.phases = append(s.phases, PhaseStat{
-				Iteration: s.sweeps,
-				MinDegree: minDeg,
-				Matched:   matched,
-				TotalL:    s.m.Len(),
+		if s.pos == 0 {
+			s.sweeps++
+			remaining--
+		}
+		bi := s.pos
+		minDeg := buckets[bi]
+		var matched int
+		if s.fr != nil {
+			matched = s.fr.runBucket(s.g1, s.g2, s.m, s.lc, bi, minDeg, s.opts)
+		} else {
+			matched = runBucket(s.g1, s.g2, s.m, s.lc, minDeg, s.opts)
+		}
+		s.pos = bi + 1
+		if s.pos == len(buckets) {
+			s.pos = 0
+		}
+		found += matched
+		s.phases = append(s.phases, PhaseStat{
+			Iteration: s.sweeps,
+			MinDegree: minDeg,
+			Matched:   matched,
+			TotalL:    s.m.Len(),
+		})
+		if s.progress != nil {
+			s.progress(PhaseEvent{
+				Iteration:  s.sweeps,
+				Bucket:     bi + 1,
+				Buckets:    len(buckets),
+				MinDegree:  minDeg,
+				Matched:    matched,
+				TotalLinks: s.m.Len(),
 			})
-			if s.progress != nil {
-				s.progress(PhaseEvent{
-					Iteration:  s.sweeps,
-					Bucket:     bi + 1,
-					Buckets:    len(buckets),
-					MinDegree:  minDeg,
-					Matched:    matched,
-					TotalLinks: s.m.Len(),
-				})
-			}
 		}
 	}
 	return found, nil
@@ -155,9 +174,15 @@ func (s *Session) RunUntilStable(maxSweeps int) int {
 
 // RunUntilStableContext is RunUntilStable with cancellation: it sweeps until
 // a full sweep finds nothing new, maxSweeps is reached, or the context ends
-// (checked at bucket boundaries, like RunContext).
+// (checked at bucket boundaries, like RunContext). A sweep a previous run
+// left interrupted is completed first, outside the maxSweeps budget and the
+// stability check — its links belong to a sweep that already counted, so
+// only whole fresh sweeps decide convergence.
 func (s *Session) RunUntilStableContext(ctx context.Context, maxSweeps int) (int, error) {
-	total := 0
+	total, err := s.RunContext(ctx, 0) // finish any interrupted sweep
+	if err != nil {
+		return total, err
+	}
 	for i := 0; i < maxSweeps; i++ {
 		found, err := s.RunContext(ctx, 1)
 		total += found

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"empty", FromEdges(0, nil)},
+		{"isolated", FromEdges(5, nil)},
+		{"path", FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}})},
+		{"dups and loops", FromEdges(4, []Edge{{0, 1}, {1, 0}, {2, 2}, {1, 3}})},
+		{"star", FromEdges(6, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := EncodeBinary(&buf, tc.g); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got.NumNodes() != tc.g.NumNodes() || got.NumEdges() != tc.g.NumEdges() || got.MaxDegree() != tc.g.MaxDegree() {
+				t.Fatalf("decoded %d nodes / %d edges / max %d, want %d / %d / %d",
+					got.NumNodes(), got.NumEdges(), got.MaxDegree(),
+					tc.g.NumNodes(), tc.g.NumEdges(), tc.g.MaxDegree())
+			}
+			for v := 0; v < got.NumNodes(); v++ {
+				a, b := got.Neighbors(NodeID(v)), tc.g.Neighbors(NodeID(v))
+				if len(a) != len(b) {
+					t.Fatalf("node %d: %d neighbors, want %d", v, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("node %d neighbor %d: %d, want %d", v, i, a[i], b[i])
+					}
+				}
+			}
+			// Canonical: re-encoding the decoded graph reproduces the bytes.
+			var again bytes.Buffer
+			if err := EncodeBinary(&again, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+				t.Fatal("re-encoding is not byte-identical")
+			}
+		})
+	}
+}
+
+func TestDecodeBinaryRejectsCorruption(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}})
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Every truncation errors, never panics.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeBinary(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Targeted corruptions of the structural invariants.
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte(nil), valid...))
+		g, err := DecodeBinary(bytes.NewReader(b))
+		if err == nil && g.Validate() == nil {
+			t.Errorf("%s: corrupt stream decoded to a valid graph", name)
+		}
+	}
+	mutate("huge node count", func(b []byte) []byte {
+		return append([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, b[1:]...)
+	})
+	mutate("odd degree sum", func(b []byte) []byte {
+		b[1]++ // bump node 0's degree
+		return b
+	})
+	mutate("unsorted adjacency", func(b []byte) []byte {
+		// The adjacency section is the trailing 4-byte IDs; swapping the first
+		// node's two sorted neighbors breaks strict ordering.
+		adj := b[len(b)-4*12:]
+		copy(adj[0:4], []byte{4, 0, 0, 0})
+		copy(adj[4:8], []byte{1, 0, 0, 0})
+		return b
+	})
+	mutate("out-of-range neighbor", func(b []byte) []byte {
+		copy(b[len(b)-4:], []byte{9, 0, 0, 0})
+		return b
+	})
+}

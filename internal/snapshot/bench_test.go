@@ -1,0 +1,82 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/core"
+)
+
+// BenchmarkSnapshotEncode measures full-snapshot encoding throughput
+// (bytes/op is the snapshot size; MB/s is the headline recorded in
+// BENCH_snapshot.json).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	opts := core.DefaultOptions()
+	g1, g2, s := testSession(b, 99, 20000, opts, 0)
+	s.RunUntilStable(10)
+	st := s.ExportState()
+	var buf bytes.Buffer
+	if err := Write(&buf, g1, g2, st); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Write(io.Discard, g1, g2, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotDecode measures full-snapshot decoding (including all
+// structural re-validation) throughput.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	opts := core.DefaultOptions()
+	g1, g2, s := testSession(b, 99, 20000, opts, 0)
+	s.RunUntilStable(10)
+	var buf bytes.Buffer
+	if err := Write(&buf, g1, g2, s.ExportState()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotEncodeState measures a state-only checkpoint — what
+// cmd/serve writes at every sweep boundary once the graphs are on disk.
+func BenchmarkSnapshotEncodeState(b *testing.B) {
+	opts := core.DefaultOptions()
+	_, _, s := testSession(b, 99, 20000, opts, 0)
+	s.RunUntilStable(10)
+	st := s.ExportState()
+	var buf bytes.Buffer
+	if err := WriteState(&buf, st); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteState(io.Discard, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotExportState isolates the in-memory deep copy from the
+// byte encoding.
+func BenchmarkSnapshotExportState(b *testing.B) {
+	opts := core.DefaultOptions()
+	_, _, s := testSession(b, 99, 20000, opts, 0)
+	s.RunUntilStable(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ExportState()
+	}
+}

@@ -1,0 +1,599 @@
+// Package snapshot is the versioned binary codec for durable reconciliation
+// state: CSR graphs, the matching with its seed boundary, the bucket-schedule
+// position, and the frontier engine's proposal cache and dirty worklists.
+//
+// Every stream is framed the same way:
+//
+//	magic "RSNP" | uvarint version | kind byte | payload | CRC32-IEEE trailer
+//
+// where the trailer covers everything before it. Three kinds exist: a full
+// snapshot (both graphs followed by the session state), a single graph, and a
+// state-only snapshot (for stores that write the immutable graphs once and
+// checkpoint only the mutable state). The encoding is canonical — one byte
+// stream per value — so decode∘encode is the identity on bytes as well as on
+// values, which the round-trip fuzz suite pins.
+//
+// Decoding is defensive end to end: all lengths are re-derived or
+// cross-checked, allocations grow only as payload bytes actually arrive (a
+// forged length fails at the truncated read, it does not pre-allocate), and
+// corrupt, truncated, or version-skewed input returns an error — never a
+// panic. Semantic invariants of the state itself (injectivity, schedule
+// consistency, frontier-cache shape) are checked one layer up by
+// core.RestoreSession.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"github.com/sociograph/reconcile/internal/core"
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// Version is the current snapshot format version. Decoders reject newer
+// versions (forward compatibility is explicit: bump this when the payload
+// layout changes, and teach Read the old layouts).
+const Version = 1
+
+var magic = [4]byte{'R', 'S', 'N', 'P'}
+
+// Stream kinds.
+const (
+	kindFull  byte = 1 // g1, g2, session state
+	kindGraph byte = 2 // a single graph
+	kindState byte = 3 // session state only
+)
+
+var errBadMagic = errors.New("snapshot: bad magic (not a snapshot stream)")
+
+// Write writes a full snapshot: both graphs and the session state.
+func Write(w io.Writer, g1, g2 *graph.Graph, st *core.SessionState) error {
+	return write(w, kindFull, func(ew *writer) error {
+		if err := graph.EncodeBinary(ew, g1); err != nil {
+			return err
+		}
+		if err := graph.EncodeBinary(ew, g2); err != nil {
+			return err
+		}
+		return encodeState(ew, st)
+	})
+}
+
+// Read reads a full snapshot.
+func Read(r io.Reader) (g1, g2 *graph.Graph, st *core.SessionState, err error) {
+	err = read(r, kindFull, func(er *reader) error {
+		if g1, err = graph.DecodeBinary(er); err != nil {
+			return err
+		}
+		if g2, err = graph.DecodeBinary(er); err != nil {
+			return err
+		}
+		st, err = decodeState(er)
+		return err
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g1, g2, st, nil
+}
+
+// WriteGraph writes a single framed graph.
+func WriteGraph(w io.Writer, g *graph.Graph) error {
+	return write(w, kindGraph, func(ew *writer) error { return graph.EncodeBinary(ew, g) })
+}
+
+// ReadGraph reads a single framed graph.
+func ReadGraph(r io.Reader) (*graph.Graph, error) {
+	var g *graph.Graph
+	err := read(r, kindGraph, func(er *reader) error {
+		var derr error
+		g, derr = graph.DecodeBinary(er)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// WriteState writes a state-only snapshot (the graphs live elsewhere).
+func WriteState(w io.Writer, st *core.SessionState) error {
+	return write(w, kindState, func(ew *writer) error { return encodeState(ew, st) })
+}
+
+// ReadState reads a state-only snapshot.
+func ReadState(r io.Reader) (*core.SessionState, error) {
+	var st *core.SessionState
+	err := read(r, kindState, func(er *reader) error {
+		var derr error
+		st, derr = decodeState(er)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// writer frames a payload: everything written through it is buffered and
+// CRC-summed; close writes the trailer.
+type writer struct {
+	bw  *bufio.Writer
+	crc hash.Hash32
+}
+
+func (w *writer) Write(p []byte) (int, error) {
+	n, err := w.bw.Write(p)
+	w.crc.Write(p[:n])
+	return n, err
+}
+
+func (w *writer) byte(b byte) error {
+	_, err := w.Write([]byte{b})
+	return err
+}
+
+func (w *writer) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	_, err := w.Write(buf[:binary.PutUvarint(buf[:], v)])
+	return err
+}
+
+// uint validates a non-negative int and writes it as a uvarint.
+func (w *writer) uint(v int, what string) error {
+	if v < 0 {
+		return fmt.Errorf("snapshot: encode: negative %s %d", what, v)
+	}
+	return w.uvarint(uint64(v))
+}
+
+func write(w io.Writer, kind byte, payload func(*writer) error) error {
+	ew := &writer{bw: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+	if _, err := ew.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := ew.uvarint(Version); err != nil {
+		return err
+	}
+	if err := ew.byte(kind); err != nil {
+		return err
+	}
+	if err := payload(ew); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], ew.crc.Sum32())
+	if _, err := ew.bw.Write(trailer[:]); err != nil { // not CRC-summed
+		return err
+	}
+	return ew.bw.Flush()
+}
+
+// reader mirrors writer: all payload reads go through the CRC; verify checks
+// the trailer against the sum.
+type reader struct {
+	br  *bufio.Reader
+	crc hash.Hash32
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	r.crc.Write(p[:n])
+	return n, err
+}
+
+func (r *reader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+// full is io.ReadFull with EOF mapped to ErrUnexpectedEOF: inside a payload,
+// running out of bytes is always a truncation.
+func (r *reader) full(p []byte) error {
+	if _, err := io.ReadFull(r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
+func (r *reader) byte(what string) (byte, error) {
+	b, err := r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("snapshot: decode %s: %w", what, err)
+	}
+	return b, nil
+}
+
+func (r *reader) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("snapshot: decode %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// uint reads a uvarint that must fit a non-negative int.
+func (r *reader) uint(what string) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt64/2 {
+		return 0, fmt.Errorf("snapshot: decode %s: value %d out of range", what, v)
+	}
+	return int(v), nil
+}
+
+func read(r io.Reader, kind byte, payload func(*reader) error) error {
+	er := &reader{br: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var m [4]byte
+	if err := er.full(m[:]); err != nil {
+		return fmt.Errorf("snapshot: reading magic: %w", err)
+	}
+	if m != magic {
+		return errBadMagic
+	}
+	v, err := er.uvarint("version")
+	if err != nil {
+		return err
+	}
+	if v != Version {
+		return fmt.Errorf("snapshot: unsupported format version %d (this build reads %d)", v, Version)
+	}
+	k, err := er.byte("kind")
+	if err != nil {
+		return err
+	}
+	if k != kind {
+		return fmt.Errorf("snapshot: stream kind %d, want %d", k, kind)
+	}
+	if err := payload(er); err != nil {
+		return err
+	}
+	sum := er.crc.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(er.br, trailer[:]); err != nil { // not CRC-summed
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("snapshot: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != sum {
+		return fmt.Errorf("snapshot: checksum mismatch (stored %08x, computed %08x): corrupt snapshot", got, sum)
+	}
+	return nil
+}
+
+// chunkU32 is how many uint32 values the codec moves per bulk Read/Write.
+const chunkU32 = 16 * 1024
+
+// writeU32s writes values produced by at as little-endian uint32s.
+func writeU32s(w *writer, n int, at func(int) uint32) error {
+	buf := make([]byte, 0, 4*chunkU32)
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, at(i))
+		if len(buf) == cap(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readU32s reads count little-endian uint32s into set, in bounded chunks so
+// a forged count fails at the truncated read instead of allocating it.
+func readU32s(r *reader, count uint64, set func(i int, v uint32)) error {
+	buf := make([]byte, 4*chunkU32)
+	idx := 0
+	for count > 0 {
+		c := count
+		if c > chunkU32 {
+			c = chunkU32
+		}
+		b := buf[:4*c]
+		if err := r.full(b); err != nil {
+			return err
+		}
+		for i := uint64(0); i < c; i++ {
+			set(idx, binary.LittleEndian.Uint32(b[4*i:]))
+			idx++
+		}
+		count -= c
+	}
+	return nil
+}
+
+// appendU32s reads count uint32s growing the destination chunk by chunk.
+func appendU32s[T ~uint32](r *reader, count uint64, what string) ([]T, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	if count > math.MaxInt64/8 {
+		return nil, fmt.Errorf("snapshot: decode %s: length %d out of range", what, count)
+	}
+	out := []T(nil)
+	err := readU32s(r, count, func(_ int, v uint32) { out = append(out, T(v)) })
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: decode %s: %w", what, err)
+	}
+	return out, nil
+}
+
+// optionFields flattens the Options struct into its wire order, shared by
+// encode and decode so the two cannot drift.
+func optionFields(o *core.Options) []struct {
+	v    *int
+	what string
+} {
+	return []struct {
+		v    *int
+		what string
+	}{
+		{&o.Threshold, "threshold"},
+		{&o.Iterations, "iterations"},
+		{&o.MinBucketExp, "min bucket exp"},
+		{&o.MaxDegree, "max degree"},
+		{(*int)(&o.Engine), "engine"},
+		{&o.Workers, "workers"},
+		{(*int)(&o.Ties), "tie policy"},
+		{(*int)(&o.Scoring), "scoring"},
+		{&o.MinMargin, "min margin"},
+	}
+}
+
+// encodeState writes the session-state payload.
+func encodeState(w *writer, st *core.SessionState) error {
+	o := st.Opts
+	for _, f := range optionFields(&o) {
+		if err := w.uint(*f.v, f.what); err != nil {
+			return err
+		}
+	}
+	disabled := byte(0)
+	if o.DisableBucketing {
+		disabled = 1
+	}
+	if err := w.byte(disabled); err != nil {
+		return err
+	}
+
+	if err := w.uint(st.N1, "n1"); err != nil {
+		return err
+	}
+	if err := w.uint(st.N2, "n2"); err != nil {
+		return err
+	}
+	if err := w.uint(len(st.Pairs), "pair count"); err != nil {
+		return err
+	}
+	if err := writeU32s(w, 2*len(st.Pairs), func(i int) uint32 {
+		if i%2 == 0 {
+			return uint32(st.Pairs[i/2].Left)
+		}
+		return uint32(st.Pairs[i/2].Right)
+	}); err != nil {
+		return err
+	}
+	if err := w.uint(st.Seeds, "seed count"); err != nil {
+		return err
+	}
+	if err := w.uint(st.Sweeps, "sweep count"); err != nil {
+		return err
+	}
+	if err := w.uint(st.NextBucket, "bucket position"); err != nil {
+		return err
+	}
+
+	if err := w.uint(len(st.Phases), "phase count"); err != nil {
+		return err
+	}
+	for _, ph := range st.Phases {
+		for _, f := range []struct {
+			v    int
+			what string
+		}{
+			{ph.Iteration, "phase iteration"},
+			{ph.MinDegree, "phase min degree"},
+			{ph.Matched, "phase matched"},
+			{ph.TotalL, "phase total"},
+		} {
+			if err := w.uint(f.v, f.what); err != nil {
+				return err
+			}
+		}
+	}
+
+	if st.Frontier == nil {
+		return w.byte(0)
+	}
+	if err := w.byte(1); err != nil {
+		return err
+	}
+	fr := st.Frontier
+	if fr.Rescored < 0 {
+		return fmt.Errorf("snapshot: encode: negative frontier work counter %d", fr.Rescored)
+	}
+	if err := w.uvarint(uint64(fr.Rescored)); err != nil {
+		return err
+	}
+	for _, side := range []*core.FrontierSideSnapshot{&fr.Left, &fr.Right} {
+		if len(side.ProposalNode) != len(side.ProposalScore) {
+			return fmt.Errorf("snapshot: encode: frontier cache slices disagree (%d nodes, %d scores)",
+				len(side.ProposalNode), len(side.ProposalScore))
+		}
+		if err := w.uint(len(side.ProposalNode), "frontier cache length"); err != nil {
+			return err
+		}
+		if err := writeU32s(w, len(side.ProposalNode), func(i int) uint32 {
+			return uint32(side.ProposalNode[i])
+		}); err != nil {
+			return err
+		}
+		for _, sc := range side.ProposalScore {
+			if sc < 0 {
+				return fmt.Errorf("snapshot: encode: negative proposal score %d", sc)
+			}
+		}
+		if err := writeU32s(w, len(side.ProposalScore), func(i int) uint32 {
+			return uint32(side.ProposalScore[i])
+		}); err != nil {
+			return err
+		}
+		if err := w.uint(len(side.Dirty), "frontier worklist length"); err != nil {
+			return err
+		}
+		if err := writeU32s(w, len(side.Dirty), func(i int) uint32 {
+			return uint32(side.Dirty[i])
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeState reads the session-state payload. Structural bounds are checked
+// here; core.RestoreSession re-checks every semantic invariant against the
+// graphs before the state is used.
+func decodeState(r *reader) (*core.SessionState, error) {
+	st := &core.SessionState{}
+	for _, f := range optionFields(&st.Opts) {
+		v, err := r.uint(f.what)
+		if err != nil {
+			return nil, err
+		}
+		*f.v = v
+	}
+	disabled, err := r.byte("bucketing flag")
+	if err != nil {
+		return nil, err
+	}
+	if disabled > 1 {
+		return nil, fmt.Errorf("snapshot: decode bucketing flag: bad value %d", disabled)
+	}
+	st.Opts.DisableBucketing = disabled == 1
+
+	if st.N1, err = r.uint("n1"); err != nil {
+		return nil, err
+	}
+	if st.N2, err = r.uint("n2"); err != nil {
+		return nil, err
+	}
+	nPairs, err := r.uint("pair count")
+	if err != nil {
+		return nil, err
+	}
+	flat, err := appendU32s[graph.NodeID](r, 2*uint64(nPairs), "pairs")
+	if err != nil {
+		return nil, err
+	}
+	if nPairs > 0 {
+		st.Pairs = make([]graph.Pair, nPairs)
+		for i := range st.Pairs {
+			st.Pairs[i] = graph.Pair{Left: flat[2*i], Right: flat[2*i+1]}
+		}
+	}
+	if st.Seeds, err = r.uint("seed count"); err != nil {
+		return nil, err
+	}
+	if st.Sweeps, err = r.uint("sweep count"); err != nil {
+		return nil, err
+	}
+	if st.NextBucket, err = r.uint("bucket position"); err != nil {
+		return nil, err
+	}
+
+	nPhases, err := r.uint("phase count")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nPhases; i++ {
+		var ph core.PhaseStat
+		for _, f := range []struct {
+			dst  *int
+			what string
+		}{
+			{&ph.Iteration, "phase iteration"},
+			{&ph.MinDegree, "phase min degree"},
+			{&ph.Matched, "phase matched"},
+			{&ph.TotalL, "phase total"},
+		} {
+			if *f.dst, err = r.uint(f.what); err != nil {
+				return nil, err
+			}
+		}
+		st.Phases = append(st.Phases, ph)
+	}
+
+	hasFrontier, err := r.byte("frontier flag")
+	if err != nil {
+		return nil, err
+	}
+	switch hasFrontier {
+	case 0:
+		return st, nil
+	case 1:
+	default:
+		return nil, fmt.Errorf("snapshot: decode frontier flag: bad value %d", hasFrontier)
+	}
+	fr := &core.FrontierSnapshot{}
+	rescored, err := r.uvarint("frontier work counter")
+	if err != nil {
+		return nil, err
+	}
+	if rescored > math.MaxInt64 {
+		return nil, fmt.Errorf("snapshot: decode frontier work counter: value %d out of range", rescored)
+	}
+	fr.Rescored = int64(rescored)
+	for _, side := range []*core.FrontierSideSnapshot{&fr.Left, &fr.Right} {
+		cacheLen, err := r.uint("frontier cache length")
+		if err != nil {
+			return nil, err
+		}
+		if side.ProposalNode, err = appendU32s[graph.NodeID](r, uint64(cacheLen), "frontier proposals"); err != nil {
+			return nil, err
+		}
+		scores, err := appendU32s[uint32](r, uint64(cacheLen), "frontier scores")
+		if err != nil {
+			return nil, err
+		}
+		if cacheLen > 0 {
+			side.ProposalScore = make([]int32, cacheLen)
+			for i, v := range scores {
+				if v > math.MaxInt32 {
+					return nil, fmt.Errorf("snapshot: decode frontier scores: score %d out of range", v)
+				}
+				side.ProposalScore[i] = int32(v)
+			}
+		}
+		dirtyLen, err := r.uint("frontier worklist length")
+		if err != nil {
+			return nil, err
+		}
+		if side.Dirty, err = appendU32s[graph.NodeID](r, uint64(dirtyLen), "frontier worklist"); err != nil {
+			return nil, err
+		}
+	}
+	st.Frontier = fr
+	return st, nil
+}

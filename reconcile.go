@@ -27,7 +27,8 @@
 // entire supported API surface:
 //
 //   - graphs: Graph, Builder, NewBuilder, FromEdges, ReadEdgeList,
-//     WriteEdgeList, Relabel, Intersection, ComputeStats;
+//     WriteEdgeList, WriteGraphBinary, ReadGraphBinary, Relabel,
+//     Intersection, ComputeStats;
 //   - randomness: Rand, NewRand (all generators are deterministic in the
 //     seed);
 //   - network models: GenerateER, GeneratePA, GenerateRMAT,
@@ -37,6 +38,9 @@
 //   - matching: New, Reconciler, Option (WithThreshold, WithIterations,
 //     WithEngine, WithScoring, WithTieBreak, WithWorkers, WithMargin,
 //     WithBucketing, WithSeeds, WithProgress, ...), Result, PhaseEvent;
+//   - durability: Reconciler.Snapshot/SnapshotState, Restore, RestoreState,
+//     Reconciler.Resume — serialize a session mid-run and finish it later,
+//     bit-identically to an uninterrupted run (see DESIGN.md "Durability");
 //   - evaluation: Truth, IdentityTruth, Evaluate, Counts, LinkedRecall,
 //     DegreeCurve.
 //

@@ -89,8 +89,11 @@ func WithSeeds(seeds []Pair) Option {
 }
 
 // WithProgress installs a hook called synchronously after every bucket pass.
-// The hook may cancel the run's context to stop at the next boundary; it
-// must not call back into the Reconciler.
+// The hook may cancel the run's context to stop at the next boundary, and it
+// may read or snapshot the Reconciler (Snapshot, SnapshotState, Result, Len
+// — it runs at a bucket boundary on the run's own goroutine, which is how
+// cmd/serve checkpoints); it must not drive the run itself (Run, AddSeeds)
+// or mutate state from inside the hook.
 func WithProgress(fn func(PhaseEvent)) Option { return func(s *settings) { s.progress = fn } }
 
 // WithOptions replaces the whole configuration with a legacy Options struct

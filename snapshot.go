@@ -1,0 +1,138 @@
+package reconcile
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/sociograph/reconcile/internal/core"
+	"github.com/sociograph/reconcile/internal/snapshot"
+)
+
+// Durable sessions: a Reconciler's complete state — graphs, matching, seed
+// boundary, bucket-schedule position, and the frontier engine's scheduling
+// caches — serializes to a versioned, checksummed binary snapshot and
+// restores to a Reconciler whose future output is bit-identical to the
+// original's, even when the snapshot was taken mid-run at a bucket boundary.
+// That is the crash-safety contract production runs need: hours of matching
+// work survive process death, and a restored run finishes exactly as the
+// uninterrupted one would have (pinned by the resume-equivalence and
+// snapshot fuzz suites). cmd/serve builds its -data-dir job store on this
+// API.
+
+// Snapshot writes the Reconciler's complete state — both graphs and all
+// session state — as one self-contained snapshot. It may be called between
+// runs, or from inside a progress hook (which runs synchronously at a bucket
+// boundary on the run's own goroutine); it must not be called concurrently
+// with a run from another goroutine.
+func (r *Reconciler) Snapshot(w io.Writer) error {
+	g1, g2 := r.sess.Graphs()
+	return snapshot.Write(w, g1, g2, r.sess.ExportState())
+}
+
+// SnapshotState writes only the mutable session state, for stores that
+// persist the immutable graphs once (WriteGraphBinary) and checkpoint
+// repeatedly: a state snapshot is O(links + frontier cache) however large
+// the graphs are. Restore the pair with RestoreState. The same calling rules
+// as Snapshot apply.
+func (r *Reconciler) SnapshotState(w io.Writer) error {
+	return snapshot.WriteState(w, r.sess.ExportState())
+}
+
+// Graphs returns the two networks the Reconciler was built over. The graphs
+// are immutable and shared, not copied.
+func (r *Reconciler) Graphs() (g1, g2 *Graph) { return r.sess.Graphs() }
+
+// Sweeps returns the number of bucket sweeps started so far, across runs and
+// restores. Together with Options().Iterations it locates a restored run in
+// its schedule; Resume uses it to finish exactly what remains.
+func (r *Reconciler) Sweeps() int { return r.sess.Sweeps() }
+
+// Resume finishes the configured schedule from wherever the Reconciler
+// stopped: it first completes a sweep interrupted mid-schedule (after a
+// cancelled run or a mid-run snapshot), then performs the sweeps still owed
+// on the original Iterations budget. On a Reconciler whose schedule already
+// completed it is a no-op. Run, by contrast, always performs Iterations
+// fresh sweeps; after a restore, Resume is almost always what you want.
+func (r *Reconciler) Resume(ctx context.Context) (*Result, error) {
+	remaining := r.opts.Iterations - r.sess.Sweeps()
+	if remaining < 0 {
+		remaining = 0
+	}
+	_, err := r.sess.RunContext(ctx, remaining)
+	return r.sess.Result(), err
+}
+
+// Restore reads a full snapshot (written by Snapshot) and reconstructs the
+// Reconciler mid-schedule. Options may adjust execution without touching
+// matching semantics:
+//
+//   - WithEngine switches engines — all three resume bit-identically (the
+//     frontier's caches are rebuilt when switching into it);
+//   - WithWorkers and WithIterations re-tune execution;
+//   - WithProgress re-installs a progress hook (hooks do not serialize);
+//   - WithSeeds ingests new trusted links, exactly like AddSeeds after
+//     restore.
+//
+// Options that would change what the already-committed links mean —
+// threshold, scoring, tie policy, margin, or the bucket schedule — are
+// rejected: a snapshot resumes the run it came from, it does not start a
+// different one.
+func Restore(rd io.Reader, opts ...Option) (*Reconciler, error) {
+	g1, g2, st, err := snapshot.Read(rd)
+	if err != nil {
+		return nil, err
+	}
+	return restoreReconciler(g1, g2, st, opts)
+}
+
+// RestoreState reads a state-only snapshot (written by SnapshotState) and
+// attaches it to the graphs it was exported over, with the same option rules
+// as Restore. The graphs must be the very ones the snapshot was taken over
+// (shape is verified; content fidelity is the caller's store to guarantee —
+// cmd/serve persists them next to the state with WriteGraphBinary).
+func RestoreState(g1, g2 *Graph, rd io.Reader, opts ...Option) (*Reconciler, error) {
+	st, err := snapshot.ReadState(rd)
+	if err != nil {
+		return nil, err
+	}
+	return restoreReconciler(g1, g2, st, opts)
+}
+
+func restoreReconciler(g1, g2 *Graph, st *core.SessionState, opts []Option) (*Reconciler, error) {
+	s := settings{opts: st.Opts}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	// Engine, Workers and Iterations are pure execution knobs; everything
+	// else is baked into the committed links and cached proposals.
+	masked := st.Opts
+	masked.Engine, masked.Workers, masked.Iterations = s.opts.Engine, s.opts.Workers, s.opts.Iterations
+	if masked != s.opts {
+		return nil, fmt.Errorf("reconcile: restore options may change engine, workers and iterations only; matching semantics (threshold, scoring, ties, margin, bucket schedule) come from the snapshot")
+	}
+	if s.opts.Engine != core.EngineFrontier {
+		st.Frontier = nil // switching away from the frontier drops its caches
+	}
+	st.Opts = s.opts
+	sess, err := core.RestoreSession(g1, g2, st)
+	if err != nil {
+		return nil, err
+	}
+	sess.SetProgress(s.progress)
+	if len(s.seeds) > 0 {
+		if err := sess.AddSeeds(s.seeds); err != nil {
+			return nil, err
+		}
+	}
+	return &Reconciler{sess: sess, opts: s.opts}, nil
+}
+
+// WriteGraphBinary writes g as a framed, checksummed binary CSR stream — the
+// compact, validation-on-load on-disk form for graphs that are read many
+// times (snapshot stores, dataset caches). ReadGraphBinary reads it back.
+func WriteGraphBinary(w io.Writer, g *Graph) error { return snapshot.WriteGraph(w, g) }
+
+// ReadGraphBinary reads a graph written by WriteGraphBinary, re-validating
+// its structural invariants; corrupt or truncated input returns an error.
+func ReadGraphBinary(r io.Reader) (*Graph, error) { return snapshot.ReadGraph(r) }
