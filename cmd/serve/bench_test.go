@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/sociograph/reconcile"
+)
+
+// BenchmarkStoreCheckpoint measures the store's per-checkpoint cost under
+// concurrent jobs: each op is one checkpoint wave — 8 converged jobs writing
+// one chain record (state + meta, atomic temp/fsync/rename) each, in
+// parallel. Sub-benchmarks cross the cadence (full: every record a full
+// snapshot, i.e. -full-every 1, the pre-delta behaviour; delta: one anchoring
+// full then delta records, the default) with the shard count (1: every job
+// contends on one directory; 8: one independent fsync domain per job). The
+// ckpt_bytes metric is the size of the newest chain record per job —
+// BENCH_store.json records the full-vs-delta ratio alongside the ns/op rows.
+func BenchmarkStoreCheckpoint(b *testing.B) {
+	const jobs = 8
+	for _, mode := range []struct {
+		name      string
+		fullEvery int
+	}{
+		{"full", 1},
+		{"delta", 1 << 20}, // one anchoring full, deltas from then on
+	} {
+		for _, shards := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mode.name, shards), func(b *testing.B) {
+				st, err := newStore(b.TempDir(), storeConfig{shards: shards, fullEvery: mode.fullEvery, keep: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := reconcile.NewRand(7)
+				world := reconcile.GeneratePA(r, 2000, 6)
+				g1, g2 := reconcile.IndependentCopies(r, world, 0.8, 0.8)
+				seeds := reconcile.Seeds(r, reconcile.IdentityPairs(2000), 0.2)
+
+				type bj struct {
+					js   *jobStore
+					rec  *reconcile.Reconciler
+					meta jobMeta
+				}
+				var bjs []bj
+				for i := 0; i < jobs; i++ {
+					id := fmt.Sprintf("job-%d", i+1)
+					rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := rec.RunUntilStable(context.Background(), 10); err != nil {
+						b.Fatal(err)
+					}
+					js := st.jobStore(id)
+					if err := js.saveGraphs(g1, g2); err != nil {
+						b.Fatal(err)
+					}
+					meta := jobMeta{ID: id, Num: i + 1, Status: statusRunning, Seeds: rec.Result().Seeds}
+					// Warm-up record so delta mode measures deltas, not the
+					// anchoring full.
+					if err := js.checkpoint(rec, meta); err != nil {
+						b.Fatal(err)
+					}
+					bjs = append(bjs, bj{js: js, rec: rec, meta: meta})
+				}
+
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for _, j := range bjs {
+						wg.Add(1)
+						go func(j bj) {
+							defer wg.Done()
+							if err := j.js.checkpoint(j.rec, j.meta); err != nil {
+								b.Error(err)
+							}
+						}(j)
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+
+				var bytesPerRecord int64
+				for _, j := range bjs {
+					records := j.js.listChain()
+					fi, err := os.Stat(records[len(records)-1].path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytesPerRecord += fi.Size()
+				}
+				b.ReportMetric(float64(bytesPerRecord)/float64(jobs), "ckpt_bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkStoreRecovery measures boot-time chain replay: loading one job
+// back from a chain of one full plus 7 deltas (the -full-every 8 worst
+// case) including graph reads and full state re-validation.
+func BenchmarkStoreRecovery(b *testing.B) {
+	st, err := newStore(b.TempDir(), storeConfig{shards: 1, fullEvery: 8, keep: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := reconcile.NewRand(7)
+	world := reconcile.GeneratePA(r, 2000, 6)
+	g1, g2 := reconcile.IndependentCopies(r, world, 0.8, 0.8)
+	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(2000), 0.2)
+	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	js := st.jobStore("job-1")
+	if err := js.saveGraphs(g1, g2); err != nil {
+		b.Fatal(err)
+	}
+	meta := jobMeta{ID: "job-1", Num: 1, Status: statusRunning, Seeds: rec.Result().Seeds}
+	ctx := context.Background()
+	hook := func(e reconcile.PhaseEvent) {
+		if e.Bucket == e.Buckets {
+			if err := js.checkpoint(rec, meta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	rec2, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(8), reconcile.WithProgress(hook))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec = rec2
+	if _, err := rec.Run(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if n := len(js.listChain()); n != 8 {
+		b.Fatalf("chain has %d records, want 8", n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, skipped := st.loadAll(); len(skipped) != 0 {
+			b.Fatalf("recovery skipped: %v", skipped)
+		}
+	}
+}

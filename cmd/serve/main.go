@@ -4,14 +4,18 @@
 //
 // Usage:
 //
-//	serve -addr :8080 [-data-dir /var/lib/reconcile]
+//	serve -addr :8080 [-data-dir /var/lib/reconcile] [-shards 4] [-full-every 8] [-keep 3]
 //
 // With -data-dir the server is crash-safe: every job is persisted to a
-// durable store (graphs once, state checkpointed atomically at each sweep
-// boundary and on completion), all jobs are re-listed after a restart with
-// their results intact, and a job that was mid-run when the process died
-// comes back as "interrupted" — POST /v1/jobs/{id}/resume finishes it with
-// a matching bit-identical to a never-interrupted run. Without -data-dir
+// sharded, delta-checkpointed store (graphs once; per-sweep checkpoints as
+// chains of one full state snapshot followed by cheap delta records), all
+// jobs are re-listed after a restart with their results intact, and a job
+// that was mid-run when the process died comes back as "interrupted" —
+// POST /v1/jobs/{id}/resume finishes it with a matching bit-identical to a
+// never-interrupted run. Jobs hash across -shards directories (independent
+// fsync domains), a full snapshot anchors every -full-every-th checkpoint,
+// and the last -keep full chains are retained per job. A flat pre-shard
+// -data-dir layout is auto-detected and stays readable. Without -data-dir
 // jobs live in RAM only.
 //
 // API (all bodies JSON):
@@ -63,12 +67,15 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data-dir", "", "job store directory; enables crash-safe durable jobs (empty: in-memory only)")
+	shards := flag.Int("shards", 4, "shard directories new jobs hash across; each is an independent fsync domain (mount on separate volumes to spread checkpoint IO)")
+	fullEvery := flag.Int("full-every", 8, "checkpoint chain period: one full state snapshot, then full-every-1 cheap delta records (1 = every checkpoint full)")
+	keep := flag.Int("keep", 3, "full checkpoint chains retained per job; older records are removed after each new full and on boot")
 	flag.Parse()
 
 	var st *store
 	if *dataDir != "" {
 		var err error
-		if st, err = newStore(*dataDir); err != nil {
+		if st, err = newStore(*dataDir, storeConfig{shards: *shards, fullEvery: *fullEvery, keep: *keep}); err != nil {
 			log.Fatalf("serve: %v", err)
 		}
 	}

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -89,9 +88,9 @@ type jobView struct {
 // never concurrently.
 type job struct {
 	id          string
-	num         int // creation order (job IDs sort lexicographically past 9)
-	n1, n2      int // node counts, for validating incremental seeds up front
-	store       *store
+	num         int       // creation order (job IDs sort lexicographically past 9)
+	n1, n2      int       // node counts, for validating incremental seeds up front
+	js          *jobStore // the job's slice of the store; nil without -data-dir
 	untilStable bool
 	maxSweeps   int
 
@@ -124,12 +123,19 @@ func (j *job) metaLocked() jobMeta {
 // persistLocked checkpoints the job's state and meta to the store, if any.
 // Caller holds j.mu and must be the goroutine driving the Reconciler (the
 // run goroutine inside a progress hook, or a handler while no run is in
-// flight) — ExportState is only safe at a phase boundary.
+// flight) — ExportState is only safe at a phase boundary, and the
+// checkpoint chain's delta base advances with each write.
 func (j *job) persistLocked() error {
-	if j.store == nil {
+	if j.js == nil {
 		return nil
 	}
-	return j.store.checkpoint(j.rec, j.metaLocked())
+	err := j.js.checkpoint(j.rec, j.metaLocked())
+	if j.status != statusRunning {
+		// The job just went (or already is) idle; its next checkpoint, if
+		// any, re-anchors with a full, so the delta base is dead weight.
+		j.js.releaseBase()
+	}
+	return err
 }
 
 // view snapshots the job for JSON rendering.
@@ -182,28 +188,37 @@ func newServer(st *store) (*server, []error) {
 			num:         p.meta.Num,
 			n1:          p.g1.NumNodes(),
 			n2:          p.g2.NumNodes(),
-			store:       st,
+			js:          p.js,
 			untilStable: p.meta.UntilStable,
 			maxSweeps:   p.meta.MaxSweeps,
 			status:      p.meta.Status,
 			errMsg:      p.meta.Error,
 			seeds:       p.meta.Seeds,
 		}
-		rec, err := reconcile.RestoreState(p.g1, p.g2, bytes.NewReader(p.state),
+		rec, err := reconcile.RestoreSessionState(p.g1, p.g2, p.state,
 			reconcile.WithProgress(s.progressHook(j)))
 		if err != nil {
 			skipped = append(skipped, fmt.Errorf("store: job %s: %w", p.meta.ID, err))
 			continue
 		}
 		j.rec = rec
-		// The state checkpoint is the durable truth (it lands before the
-		// meta, so a crash between the two renames leaves the meta one phase
-		// batch behind); rebuild the wire counters and phase log from it.
+		// The replayed chain is the durable truth (each record lands before
+		// its meta, so a crash between the two renames leaves the meta one
+		// phase batch behind); rebuild the wire counters and phase log from
+		// it.
 		j.links = rec.Len()
 		j.phases = wirePhases(rec)
 		if j.status == statusRunning {
 			j.status = statusInterrupted
 			j.errMsg = "server stopped mid-run; POST /v1/jobs/" + j.id + "/resume to finish"
+		}
+		if p.dropped > 0 {
+			// Recovery fell back to the last consistent chain prefix: the
+			// restored state is older than the last acknowledged checkpoint,
+			// whatever the meta claims. Resume finishes the rest
+			// bit-identically.
+			j.status = statusInterrupted
+			j.errMsg = fmt.Sprintf("recovery dropped %d trailing checkpoint record(s); POST /v1/jobs/%s/resume to finish", p.dropped, j.id)
 		}
 		s.jobs[j.id] = j
 	}
@@ -247,7 +262,7 @@ func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
 			Total:     e.TotalLinks,
 		})
 		j.links = e.TotalLinks
-		persist := j.store != nil && (e.Bucket == e.Buckets || j.wantCheckpoint)
+		persist := j.js != nil && (e.Bucket == e.Buckets || j.wantCheckpoint)
 		var meta jobMeta
 		var rec *reconcile.Reconciler
 		if persist {
@@ -261,10 +276,10 @@ func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
 		}
 		// The encode and fsync run outside j.mu so reads stay responsive
 		// during checkpoints. This is safe: the job is running, so this run
-		// goroutine is the only driver of the Reconciler (every handler that
-		// would touch it refuses running jobs), and the bookkeeping snapshot
-		// was taken under the lock.
-		if err := j.store.checkpoint(rec, meta); err != nil {
+		// goroutine is the only driver of the Reconciler and its checkpoint
+		// chain (every handler that would touch either refuses running
+		// jobs), and the bookkeeping snapshot was taken under the lock.
+		if err := j.js.checkpoint(rec, meta); err != nil {
 			log.Printf("serve: checkpoint of %s: %v", j.id, err)
 		}
 	}
@@ -409,10 +424,12 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 		num:         s.nextID,
 		n1:          req.G1.Nodes,
 		n2:          req.G2.Nodes,
-		store:       s.store,
 		untilStable: req.UntilStable,
 		maxSweeps:   maxSweeps,
 		status:      statusRunning,
+	}
+	if s.store != nil {
+		j.js = s.store.jobStore(j.id)
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
@@ -438,8 +455,8 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 	// Make the job durable before acknowledging it: graphs once, then the
 	// initial checkpoint. A submission the store cannot hold is refused
 	// whole rather than accepted into a state a crash would lose.
-	if s.store != nil {
-		err := s.store.saveGraphs(j.id, g1, g2)
+	if j.js != nil {
+		err := j.js.saveGraphs(g1, g2)
 		if err == nil {
 			err = j.persistLocked()
 		}

@@ -2,7 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,37 +14,110 @@ import (
 	"github.com/sociograph/reconcile"
 )
 
-// store is the crash-safe on-disk job store behind -data-dir. Each job owns
-// four files:
+// store is the crash-safe on-disk job store behind -data-dir, sharded and
+// delta-checkpointed:
 //
-//	<id>.g1, <id>.g2      the immutable graphs, written once at submission
-//	<id>.state            the latest session-state checkpoint
-//	<id>.meta.json        job-level bookkeeping (status, counters, phases)
+//	<data-dir>/
+//	  shard-00/ shard-01/ … shard-NN/    one directory per shard (-shards)
+//	    <id>.g1, <id>.g2                 the immutable graphs, written once
+//	    <id>.ckpt-00000001.full          a full state checkpoint
+//	    <id>.ckpt-00000002.delta         a delta record (changes since #1)
+//	    <id>.ckpt-….delta | .full        … the chain continues; a full every
+//	                                     -full-every checkpoints
+//	    <id>.meta.json                   job-level bookkeeping
 //
-// Graphs use the framed binary CSR form (reconcile.WriteGraphBinary); state
-// checkpoints use reconcile.(*Reconciler).SnapshotState, so a checkpoint
-// costs O(links + frontier cache) however large the graphs are. Every write
-// is atomic — a temp file in the same directory, fsynced, then renamed — so
-// a crash mid-checkpoint leaves the previous checkpoint intact, and a
-// restored job resumes bit-identically from the last completed phase
-// boundary.
+// Jobs hash across the shard directories, so each shard is an independent
+// fsync domain — mount them on different volumes and N concurrent jobs stop
+// contending on one directory's rename+fsync path. Checkpoints form chains:
+// a full snapshot (reconcile.Checkpointer.WriteFull), then cheap delta
+// records holding only the pairs, phase entries and frontier-cache edits
+// since the previous checkpoint — O(churn) instead of O(matching), which is
+// what lets per-sweep checkpointing stay on by default at paper scale.
+// Recovery replays the newest readable full plus its contiguous deltas; a
+// missing or corrupt trailing record makes recovery fall back to the last
+// consistent prefix and surface the job as "interrupted" (its next resume
+// finishes bit-identically from there — the chain resume-equivalence suite
+// pins this). Retention keeps the last -keep full chains per job and
+// removes older records after each new full and on boot.
+//
+// Every write is atomic — a temp file in the same shard directory, fsynced,
+// renamed, directory fsynced — so a crash mid-checkpoint leaves the
+// previous chain intact. The pre-shard flat layout (<data-dir>/<id>.state)
+// is auto-detected and read-compatible: legacy jobs load from their .state
+// snapshot, keep living in the root directory, and migrate to chain
+// checkpoints (which supersede the .state file) on their first write.
 type store struct {
-	dir string
+	root      string
+	cfg       storeConfig
+	shardDirs []string // placement targets for new jobs, len == cfg.shards
 }
 
-func newStore(dir string) (*store, error) {
+// storeConfig carries the store's tuning flags.
+type storeConfig struct {
+	shards    int // shard directories for new jobs
+	fullEvery int // chain period: one full, then fullEvery-1 deltas
+	keep      int // full chains retained per job
+}
+
+func newStore(dir string, cfg storeConfig) (*store, error) {
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("store: -shards must be >= 1 (got %d)", cfg.shards)
+	}
+	if cfg.fullEvery < 1 {
+		return nil, fmt.Errorf("store: -full-every must be >= 1 (got %d)", cfg.fullEvery)
+	}
+	if cfg.keep < 1 {
+		return nil, fmt.Errorf("store: -keep must be >= 1 (got %d)", cfg.keep)
+	}
+	st := &store{root: dir, cfg: cfg}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	for i := 0; i < cfg.shards; i++ {
+		sd := filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		st.shardDirs = append(st.shardDirs, sd)
+	}
 	// A crash between CreateTemp and rename orphans a temp file; sweep them
 	// here so checkpoint-heavy servers do not leak one per crash. Nothing
-	// else is running against the store at open time.
-	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp-*")); err == nil {
-		for _, path := range stale {
-			os.Remove(path)
+	// else is running against the store at open time. Swept in every
+	// directory that exists, including shards beyond the current -shards
+	// (the store reads jobs wherever a previous configuration put them).
+	for _, d := range append([]string{dir}, st.allShardDirs()...) {
+		if stale, err := filepath.Glob(filepath.Join(d, "*.tmp-*")); err == nil {
+			for _, path := range stale {
+				os.Remove(path)
+			}
 		}
 	}
-	return &store{dir: dir}, nil
+	return st, nil
+}
+
+// allShardDirs lists every shard directory present on disk — not just the
+// first cfg.shards — so jobs placed by a previous -shards setting stay
+// readable.
+func (st *store) allShardDirs() []string {
+	dirs, err := filepath.Glob(filepath.Join(st.root, "shard-*"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(dirs)
+	var out []string
+	for _, d := range dirs {
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// jobStore returns the handle for a new job, placed on its hash shard.
+func (st *store) jobStore(id string) *jobStore {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &jobStore{store: st, id: id, dir: st.shardDirs[h.Sum32()%uint32(len(st.shardDirs))]}
 }
 
 // jobMeta is the JSON sidecar of a persisted job: everything the server
@@ -58,13 +133,33 @@ type jobMeta struct {
 	Phases      []phaseJSON `json:"phases"`
 }
 
-func (st *store) path(id, suffix string) string {
-	return filepath.Join(st.dir, id+suffix)
+// jobStore is one job's slice of the store: its shard directory, checkpoint
+// chain position, and the delta base. It is driven by one goroutine at a
+// time (the run goroutine inside a progress hook, or a handler while no run
+// is in flight), like the Reconciler it checkpoints.
+type jobStore struct {
+	store *store
+	dir   string
+	id    string
+
+	seq       int // sequence number of the newest chain record on disk
+	sinceFull int // chain records written since the last full
+	haveBase  bool
+	ckpt      reconcile.Checkpointer
 }
 
-// atomicWrite writes via a temp file in the same directory and renames it
-// into place, so concurrent readers and crash recovery only ever see a
-// complete previous or complete new file.
+func (js *jobStore) path(suffix string) string {
+	return filepath.Join(js.dir, js.id+suffix)
+}
+
+func (js *jobStore) chainPath(seq int, kind string) string {
+	return js.path(fmt.Sprintf(".ckpt-%08d.%s", seq, kind))
+}
+
+// atomicWrite writes via a temp file in the same directory, fsyncs it,
+// renames it into place and fsyncs the directory, so concurrent readers and
+// crash recovery only ever see a complete previous or complete new file —
+// and the rename itself is durable before the caller builds on it.
 func atomicWrite(path string, write func(*os.File) error) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -82,87 +177,291 @@ func atomicWrite(path string, write func(*os.File) error) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Best-effort: directory fsync is optional in POSIX and some
+	// filesystems refuse it; the rename itself is still atomic.
+	_ = d.Sync()
+	return nil
 }
 
 // saveGraphs persists the job's two graphs. Called once at submission.
-func (st *store) saveGraphs(id string, g1, g2 *reconcile.Graph) error {
+func (js *jobStore) saveGraphs(g1, g2 *reconcile.Graph) error {
 	for _, f := range []struct {
 		suffix string
 		g      *reconcile.Graph
 	}{{".g1", g1}, {".g2", g2}} {
-		err := atomicWrite(st.path(id, f.suffix), func(w *os.File) error {
+		err := atomicWrite(js.path(f.suffix), func(w *os.File) error {
 			return reconcile.WriteGraphBinary(w, f.g)
 		})
 		if err != nil {
-			return fmt.Errorf("store: graphs of %s: %w", id, err)
+			return fmt.Errorf("store: graphs of %s: %w", js.id, err)
 		}
 	}
 	return nil
 }
 
-// checkpoint atomically persists the job's current session state and meta.
-// The state lands first: if the crash window falls between the two renames,
-// recovery sees a fresh state with slightly stale bookkeeping, which restore
-// reconciles (counters are re-derived from the state).
-func (st *store) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
-	err := atomicWrite(st.path(meta.ID, ".state"), func(w *os.File) error {
-		return rec.SnapshotState(w)
-	})
-	if err != nil {
-		return fmt.Errorf("store: state of %s: %w", meta.ID, err)
+// checkpoint appends one record to the job's chain — a delta when a durable
+// base exists and the chain period allows it, a full otherwise — then
+// persists the meta. The chain record lands first: if the crash window falls
+// between the two renames, recovery sees a fresh state with slightly stale
+// bookkeeping, which restore reconciles (counters are re-derived from the
+// state). Any write failure poisons the delta base, so the next checkpoint
+// re-anchors the chain with a full instead of building on a record that may
+// never have become durable.
+func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
+	seq := js.seq + 1
+	wantFull := !js.haveBase || js.sinceFull+1 >= js.store.cfg.fullEvery
+	if !wantFull {
+		err := atomicWrite(js.chainPath(seq, "delta"), func(w *os.File) error {
+			return js.ckpt.WriteDelta(w, rec)
+		})
+		switch {
+		case err == nil:
+			js.sinceFull++
+		case errors.Is(err, reconcile.ErrFullRequired):
+			wantFull = true
+		default:
+			js.haveBase = false
+			return fmt.Errorf("store: delta checkpoint of %s: %w", js.id, err)
+		}
 	}
-	err = atomicWrite(st.path(meta.ID, ".meta.json"), func(w *os.File) error {
+	if wantFull {
+		if err := atomicWrite(js.chainPath(seq, "full"), func(w *os.File) error {
+			return js.ckpt.WriteFull(w, rec)
+		}); err != nil {
+			js.haveBase = false
+			return fmt.Errorf("store: full checkpoint of %s: %w", js.id, err)
+		}
+		js.sinceFull = 0
+		js.haveBase = true
+		js.retireOld()
+	}
+	js.seq = seq
+	err := atomicWrite(js.path(".meta.json"), func(w *os.File) error {
 		return json.NewEncoder(w).Encode(meta)
 	})
 	if err != nil {
-		return fmt.Errorf("store: meta of %s: %w", meta.ID, err)
+		return fmt.Errorf("store: meta of %s: %w", js.id, err)
 	}
 	return nil
+}
+
+// releaseBase drops the in-memory delta base — a full deep copy of the
+// session state the Checkpointer keeps to diff the next record against.
+// Called once a job goes idle: idle jobs checkpoint rarely, holding
+// megabytes per terminal job forever is how servers bloat, and the next
+// chain record simply re-anchors with a full.
+func (js *jobStore) releaseBase() {
+	js.ckpt = reconcile.Checkpointer{}
+	js.haveBase = false
+}
+
+// chainRecord locates one checkpoint file of a job's chain.
+type chainRecord struct {
+	seq  int
+	full bool
+	path string
+}
+
+// listChain returns the job's checkpoint records sorted by sequence number.
+func (js *jobStore) listChain() []chainRecord {
+	matches, err := filepath.Glob(js.path(".ckpt-*.*"))
+	if err != nil {
+		return nil
+	}
+	var out []chainRecord
+	for _, path := range matches {
+		rest, ok := strings.CutPrefix(filepath.Base(path), js.id+".ckpt-")
+		if !ok {
+			continue
+		}
+		seqStr, kind, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		seq, err := strconv.Atoi(seqStr)
+		if err != nil || seq <= 0 {
+			continue
+		}
+		switch kind {
+		case "full", "delta":
+			out = append(out, chainRecord{seq: seq, full: kind == "full", path: path})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
+}
+
+// retireOld enforces keep-last-K retention: chain records older than the
+// K-th newest full snapshot are deleted, as is a legacy flat .state file
+// once a chain full supersedes it. Called after each new full and once per
+// job on boot.
+func (js *jobStore) retireOld() {
+	records := js.listChain()
+	fullSeqs := make([]int, 0, len(records))
+	for _, rec := range records {
+		if rec.full {
+			fullSeqs = append(fullSeqs, rec.seq)
+		}
+	}
+	if len(fullSeqs) == 0 {
+		return
+	}
+	if len(fullSeqs) > js.store.cfg.keep {
+		minKeep := fullSeqs[len(fullSeqs)-js.store.cfg.keep]
+		for _, rec := range records {
+			if rec.seq < minKeep {
+				os.Remove(rec.path)
+			}
+		}
+	}
+	os.Remove(js.path(".state")) // pre-shard layout, superseded by the chain
+}
+
+// recoverState replays the job's chain: the newest readable full snapshot
+// plus its contiguous, applicable deltas. dropped counts the chain records
+// past the replayed prefix (corrupt, gapped, or built on a corrupt full) —
+// zero means the restored state is the newest durable checkpoint. With no
+// readable chain it falls back to a legacy flat .state snapshot.
+func (js *jobStore) recoverState() (st *reconcile.SessionState, dropped int, err error) {
+	records := js.listChain()
+	var firstErr error
+	for i := len(records) - 1; i >= 0; i-- {
+		if !records[i].full {
+			continue
+		}
+		st, lastApplied, rerr := js.replayFrom(records, i)
+		if rerr != nil {
+			if firstErr == nil {
+				firstErr = rerr
+			}
+			continue
+		}
+		for _, rec := range records {
+			if rec.seq > lastApplied {
+				dropped++
+			}
+		}
+		return st, dropped, nil
+	}
+	// No readable full: the pre-shard flat layout kept a single .state file.
+	raw, rerr := os.Open(js.path(".state"))
+	if rerr != nil {
+		if firstErr != nil {
+			return nil, 0, firstErr
+		}
+		return nil, 0, fmt.Errorf("no readable checkpoint: %w", rerr)
+	}
+	defer raw.Close()
+	st, err = reconcile.ReadSessionState(raw)
+	if err != nil {
+		return nil, 0, fmt.Errorf("legacy state: %w", err)
+	}
+	return st, len(records), nil
+}
+
+// replayFrom reads the full record at records[i] and applies the deltas
+// that follow it, stopping at the first gap, unreadable record, or delta
+// that does not fit — the last consistent prefix.
+func (js *jobStore) replayFrom(records []chainRecord, i int) (*reconcile.SessionState, int, error) {
+	f, err := os.Open(records[i].path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("chain full #%d: %w", records[i].seq, err)
+	}
+	st, err := reconcile.ReadSessionState(f)
+	f.Close()
+	if err != nil {
+		return nil, 0, fmt.Errorf("chain full #%d: %w", records[i].seq, err)
+	}
+	lastApplied := records[i].seq
+	for _, rec := range records[i+1:] {
+		if rec.full || rec.seq != lastApplied+1 {
+			break // a later full starts its own chain; a gap ends this one
+		}
+		df, err := os.Open(rec.path)
+		if err != nil {
+			break
+		}
+		d, err := reconcile.ReadStateDelta(df)
+		df.Close()
+		if err != nil {
+			break
+		}
+		if err := st.Apply(d); err != nil {
+			break
+		}
+		lastApplied = rec.seq
+	}
+	return st, lastApplied, nil
 }
 
 // persisted is one job loaded back from disk.
 type persisted struct {
-	meta   jobMeta
-	g1, g2 *reconcile.Graph
-	state  []byte
+	meta    jobMeta
+	g1, g2  *reconcile.Graph
+	state   *reconcile.SessionState
+	js      *jobStore
+	dropped int // trailing chain records recovery had to abandon
 }
 
-// loadAll reads every fully-persisted job, in creation order. Jobs whose
-// files are incomplete or unreadable (e.g. a crash between submission and
-// the first checkpoint, or a snapshot from a newer format version) are
+// loadAll reads every fully-persisted job, in creation order, walking the
+// root directory (pre-shard flat layouts) and every shard directory. Jobs
+// whose files are incomplete or unreadable (e.g. a crash between submission
+// and the first checkpoint, or a snapshot from a newer format version) are
 // skipped and reported in the last return value. maxNum is the highest job
-// number present in the directory — including skipped jobs, whose number is
+// number present anywhere — including skipped jobs, whose number is
 // recovered from the "job-N" filename — so new submissions never reuse a
 // skipped job's ID and overwrite files a newer binary could still recover.
 func (st *store) loadAll() (out []persisted, maxNum int, skipped []error) {
-	metas, err := filepath.Glob(filepath.Join(st.dir, "*.meta.json"))
-	if err != nil {
-		return nil, 0, []error{err}
-	}
-	sort.Strings(metas)
-	for _, path := range metas {
-		id := strings.TrimSuffix(filepath.Base(path), ".meta.json")
-		if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n > maxNum {
-			maxNum = n
-		}
-		p, err := st.load(id)
+	seen := map[string]string{}
+	for _, dir := range append([]string{st.root}, st.allShardDirs()...) {
+		metas, err := filepath.Glob(filepath.Join(dir, "*.meta.json"))
 		if err != nil {
-			skipped = append(skipped, fmt.Errorf("store: job %s: %w", id, err))
+			skipped = append(skipped, err)
 			continue
 		}
-		if p.meta.Num > maxNum {
-			maxNum = p.meta.Num
+		sort.Strings(metas)
+		for _, path := range metas {
+			id := strings.TrimSuffix(filepath.Base(path), ".meta.json")
+			if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n > maxNum {
+				maxNum = n
+			}
+			if prev, dup := seen[id]; dup {
+				skipped = append(skipped, fmt.Errorf("store: job %s: duplicate directories %s and %s", id, prev, dir))
+				continue
+			}
+			seen[id] = dir
+			p, err := st.load(dir, id)
+			if err != nil {
+				skipped = append(skipped, fmt.Errorf("store: job %s: %w", id, err))
+				continue
+			}
+			if p.meta.Num > maxNum {
+				maxNum = p.meta.Num
+			}
+			out = append(out, p)
 		}
-		out = append(out, p)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].meta.Num < out[b].meta.Num })
 	return out, maxNum, skipped
 }
 
-func (st *store) load(id string) (persisted, error) {
-	var p persisted
-	raw, err := os.ReadFile(st.path(id, ".meta.json"))
+func (st *store) load(dir, id string) (persisted, error) {
+	js := &jobStore{store: st, dir: dir, id: id}
+	p := persisted{js: js}
+	raw, err := os.ReadFile(js.path(".meta.json"))
 	if err != nil {
 		return p, err
 	}
@@ -176,7 +475,7 @@ func (st *store) load(id string) (persisted, error) {
 		suffix string
 		dst    **reconcile.Graph
 	}{{".g1", &p.g1}, {".g2", &p.g2}} {
-		file, err := os.Open(st.path(id, f.suffix))
+		file, err := os.Open(js.path(f.suffix))
 		if err != nil {
 			return p, err
 		}
@@ -187,8 +486,25 @@ func (st *store) load(id string) (persisted, error) {
 		}
 		*f.dst = g
 	}
-	if p.state, err = os.ReadFile(st.path(id, ".state")); err != nil {
+	if p.state, p.dropped, err = js.recoverState(); err != nil {
 		return p, err
+	}
+	// Continue the chain past everything on disk, and re-anchor it with a
+	// full on the first post-boot checkpoint: the replayed state is only
+	// known to match the newest durable record when nothing was dropped,
+	// and a fresh full is cheap insurance either way.
+	for _, rec := range js.listChain() {
+		if rec.seq > js.seq {
+			js.seq = rec.seq
+		}
+	}
+	// Boot-time compaction only when recovery replayed the chain to its
+	// very end: retention counts every full on disk, readable or not, so
+	// after a fallback it could delete the older records the restored
+	// state actually came from — the next full (which every post-boot
+	// checkpoint starts with) compacts instead.
+	if p.dropped == 0 {
+		js.retireOld()
 	}
 	return p, nil
 }

@@ -9,16 +9,20 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"sync"
 	"testing"
 
 	"github.com/sociograph/reconcile"
 )
 
+// testStoreConfig keeps the chain short so the existing suites exercise
+// full→delta→delta chains, retention and multi-shard layouts as a matter of
+// course.
+var testStoreConfig = storeConfig{shards: 3, fullEvery: 3, keep: 2}
+
 func newTestStore(t *testing.T) *store {
 	t.Helper()
-	st, err := newStore(t.TempDir())
+	st, err := newStore(t.TempDir(), testStoreConfig)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,14 +153,15 @@ func TestServeInterruptedResume(t *testing.T) {
 	if _, err := victim.Run(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("victim err = %v, want cancellation", err)
 	}
-	if err := st.saveGraphs("job-1", g1, g2); err != nil {
+	js := st.jobStore("job-1")
+	if err := js.saveGraphs(g1, g2); err != nil {
 		t.Fatal(err)
 	}
 	meta := jobMeta{
 		ID: "job-1", Num: 1, Status: statusRunning,
 		Seeds: victim.Result().Seeds, MaxSweeps: 50, Phases: phases,
 	}
-	if err := st.checkpoint(victim, meta); err != nil {
+	if err := js.checkpoint(victim, meta); err != nil {
 		t.Fatal(err)
 	}
 
@@ -232,19 +237,23 @@ func TestServeCheckpointEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("checkpoint of idle job: status %d, want 200", resp.StatusCode)
 	}
-	if _, err := os.Stat(st.path(id, ".state")); err != nil {
-		t.Fatalf("no state file after checkpoint: %v", err)
+	js := st.jobStore(id) // same hash placement as the server's handle
+	if len(js.listChain()) == 0 {
+		t.Fatal("no chain records after checkpoint")
 	}
 
-	// The checkpointed bytes restore into the same matching out-of-band.
+	// The checkpoint chain restores into the same matching out-of-band.
 	p := jobPairs(t, ts.URL, id)
-	raw, err := os.ReadFile(st.path(id, ".state"))
+	state, dropped, err := js.recoverState()
 	if err != nil {
 		t.Fatal(err)
 	}
+	if dropped != 0 {
+		t.Fatalf("recovery dropped %d records from an intact chain", dropped)
+	}
 	g1, _ := buildGraph(req.G1)
 	g2, _ := buildGraph(req.G2)
-	rec, err := reconcile.RestoreState(g1, g2, bytes.NewReader(raw))
+	rec, err := reconcile.RestoreSessionState(g1, g2, state)
 	if err != nil {
 		t.Fatal(err)
 	}

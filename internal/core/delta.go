@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+// State diffing: between two checkpoints of the same run, almost everything
+// in a SessionState is either append-only (the matching is monotone, the
+// phase log only grows) or a small dense structure of which only a small
+// fraction changes (the frontier proposal cache — exactly the entries the
+// engine re-scored). A StateDelta captures precisely that churn, so a
+// per-sweep checkpoint costs O(changes since the last checkpoint) instead of
+// O(matching + caches). ApplyDelta replays a delta onto the base state it was
+// diffed from and reproduces the later state exactly — restore from
+// (full + deltas) is therefore bit-identical to restore from a monolithic
+// snapshot, which the delta round-trip fuzz suite and the chain
+// resume-equivalence suite pin.
+
+// ErrNotDiffable reports that two states cannot be related by a StateDelta —
+// they belong to different runs (options, graph shape or seed boundary
+// differ), the matching is not an append (never the case within one run), or
+// the frontier caches changed shape. Callers fall back to a full snapshot.
+var ErrNotDiffable = errors.New("core: states are not delta-compatible; write a full snapshot")
+
+// StateDelta is the change record between a base SessionState and a later
+// state of the same run. The Base* fields fingerprint the position of the
+// base state; ApplyDelta refuses a base at any other position, so a chain
+// with a missing or reordered record fails loudly instead of replaying into
+// a wrong state.
+type StateDelta struct {
+	// Base fingerprint: the schedule position and log lengths of the state
+	// this delta applies to.
+	BasePairs      int
+	BasePhases     int
+	BaseSweeps     int
+	BaseNextBucket int
+
+	// The new schedule position.
+	Sweeps     int
+	NextBucket int
+
+	// NewPairs and NewPhases are the entries appended since the base state.
+	NewPairs  []graph.Pair
+	NewPhases []PhaseStat
+
+	// Frontier carries the frontier-engine churn; nil when the run has no
+	// frontier state (and then both base and target must have none).
+	Frontier *FrontierDelta
+}
+
+// FrontierDelta is the frontier engine's churn between two checkpoints: the
+// proposal-cache entries that were re-scored, plus both dirty worklists
+// (recorded whole — queue order matters and the lists are small next to the
+// cache).
+type FrontierDelta struct {
+	Left, Right FrontierSideDelta
+	Rescored    int64
+}
+
+// FrontierSideDelta is one side's cache churn. Index holds the changed
+// row-major cache positions in strictly ascending order; Node and Score are
+// the new values at those positions, parallel to Index.
+type FrontierSideDelta struct {
+	Index []int
+	Node  []graph.NodeID
+	Score []int32
+
+	// Dirty is the complete new worklist, replacing the base's.
+	Dirty []graph.NodeID
+}
+
+// DiffStates computes the delta from base to cur, two exported states of the
+// same run with base the earlier checkpoint. It returns ErrNotDiffable when
+// the states cannot be related by appends and cache edits — different
+// options, shapes, or seed boundaries, or a matching that is not an append
+// (none of which occur between checkpoints of a live session).
+func DiffStates(base, cur *SessionState) (*StateDelta, error) {
+	if base == nil || cur == nil {
+		return nil, errors.New("core: diff: nil state")
+	}
+	if base.Opts != cur.Opts {
+		return nil, fmt.Errorf("%w: options differ", ErrNotDiffable)
+	}
+	if base.N1 != cur.N1 || base.N2 != cur.N2 {
+		return nil, fmt.Errorf("%w: graph shapes differ", ErrNotDiffable)
+	}
+	if base.Seeds != cur.Seeds {
+		return nil, fmt.Errorf("%w: seed boundaries differ", ErrNotDiffable)
+	}
+	if len(cur.Pairs) < len(base.Pairs) || len(cur.Phases) < len(base.Phases) {
+		return nil, fmt.Errorf("%w: target state is behind the base", ErrNotDiffable)
+	}
+	for i, p := range base.Pairs {
+		if cur.Pairs[i] != p {
+			return nil, fmt.Errorf("%w: matching is not an append (pair %d changed)", ErrNotDiffable, i)
+		}
+	}
+	for i, ph := range base.Phases {
+		if cur.Phases[i] != ph {
+			return nil, fmt.Errorf("%w: phase log is not an append (entry %d changed)", ErrNotDiffable, i)
+		}
+	}
+	d := &StateDelta{
+		BasePairs:      len(base.Pairs),
+		BasePhases:     len(base.Phases),
+		BaseSweeps:     base.Sweeps,
+		BaseNextBucket: base.NextBucket,
+		Sweeps:         cur.Sweeps,
+		NextBucket:     cur.NextBucket,
+		NewPairs:       append([]graph.Pair(nil), cur.Pairs[len(base.Pairs):]...),
+		NewPhases:      append([]PhaseStat(nil), cur.Phases[len(base.Phases):]...),
+	}
+	switch {
+	case base.Frontier == nil && cur.Frontier == nil:
+	case base.Frontier == nil || cur.Frontier == nil:
+		return nil, fmt.Errorf("%w: frontier state appeared or vanished", ErrNotDiffable)
+	default:
+		fd := &FrontierDelta{Rescored: cur.Frontier.Rescored}
+		for _, s := range []struct {
+			base, cur *FrontierSideSnapshot
+			dst       *FrontierSideDelta
+		}{
+			{&base.Frontier.Left, &cur.Frontier.Left, &fd.Left},
+			{&base.Frontier.Right, &cur.Frontier.Right, &fd.Right},
+		} {
+			var err error
+			*s.dst, err = diffSide(s.base, s.cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+		d.Frontier = fd
+	}
+	return d, nil
+}
+
+func diffSide(base, cur *FrontierSideSnapshot) (FrontierSideDelta, error) {
+	var d FrontierSideDelta
+	if len(base.ProposalNode) != len(cur.ProposalNode) ||
+		len(base.ProposalScore) != len(cur.ProposalScore) ||
+		len(cur.ProposalNode) != len(cur.ProposalScore) {
+		return d, fmt.Errorf("%w: frontier cache shapes differ", ErrNotDiffable)
+	}
+	for i := range cur.ProposalNode {
+		if cur.ProposalNode[i] != base.ProposalNode[i] || cur.ProposalScore[i] != base.ProposalScore[i] {
+			d.Index = append(d.Index, i)
+			d.Node = append(d.Node, cur.ProposalNode[i])
+			d.Score = append(d.Score, cur.ProposalScore[i])
+		}
+	}
+	d.Dirty = append([]graph.NodeID(nil), cur.Dirty...)
+	return d, nil
+}
+
+// ApplyDelta replays a delta onto the base state it was diffed from and
+// returns the resulting state; base is not modified. The base's position is
+// checked against the delta's fingerprint and every edit is bounds-checked,
+// so a delta applied out of order, onto the wrong base, or after corruption
+// the codec's CRC somehow missed returns an error — never a wrong state.
+// ApplyDelta(base, d) for d = DiffStates(base, cur) reproduces cur exactly.
+func ApplyDelta(base *SessionState, d *StateDelta) (*SessionState, error) {
+	if base == nil || d == nil {
+		return nil, errors.New("core: apply delta: nil argument")
+	}
+	if len(base.Pairs) != d.BasePairs || len(base.Phases) != d.BasePhases ||
+		base.Sweeps != d.BaseSweeps || base.NextBucket != d.BaseNextBucket {
+		return nil, fmt.Errorf("core: apply delta: base at position (pairs %d, phases %d, sweep %d.%d), delta expects (%d, %d, %d.%d)",
+			len(base.Pairs), len(base.Phases), base.Sweeps, base.NextBucket,
+			d.BasePairs, d.BasePhases, d.BaseSweeps, d.BaseNextBucket)
+	}
+	st := &SessionState{
+		Opts:       base.Opts,
+		N1:         base.N1,
+		N2:         base.N2,
+		Seeds:      base.Seeds,
+		Sweeps:     d.Sweeps,
+		NextBucket: d.NextBucket,
+		Pairs:      appendCopy(base.Pairs, d.NewPairs),
+		Phases:     appendCopy(base.Phases, d.NewPhases),
+	}
+	switch {
+	case base.Frontier == nil && d.Frontier == nil:
+	case base.Frontier == nil || d.Frontier == nil:
+		return nil, errors.New("core: apply delta: frontier state present on one side only")
+	default:
+		fr := &FrontierSnapshot{Rescored: d.Frontier.Rescored}
+		for _, s := range []struct {
+			base *FrontierSideSnapshot
+			d    *FrontierSideDelta
+			dst  *FrontierSideSnapshot
+		}{
+			{&base.Frontier.Left, &d.Frontier.Left, &fr.Left},
+			{&base.Frontier.Right, &d.Frontier.Right, &fr.Right},
+		} {
+			var err error
+			*s.dst, err = applySide(s.base, s.d)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.Frontier = fr
+	}
+	return st, nil
+}
+
+func applySide(base *FrontierSideSnapshot, d *FrontierSideDelta) (FrontierSideSnapshot, error) {
+	var out FrontierSideSnapshot
+	if len(d.Index) != len(d.Node) || len(d.Index) != len(d.Score) {
+		return out, fmt.Errorf("core: apply delta: edit slices disagree (%d indices, %d nodes, %d scores)",
+			len(d.Index), len(d.Node), len(d.Score))
+	}
+	out.ProposalNode = append([]graph.NodeID(nil), base.ProposalNode...)
+	out.ProposalScore = append([]int32(nil), base.ProposalScore...)
+	prev := -1
+	for i, idx := range d.Index {
+		if idx <= prev {
+			return out, fmt.Errorf("core: apply delta: cache edit indices not ascending (%d after %d)", idx, prev)
+		}
+		if idx >= len(out.ProposalNode) {
+			return out, fmt.Errorf("core: apply delta: cache edit index %d out of range (%d entries)", idx, len(out.ProposalNode))
+		}
+		out.ProposalNode[idx] = d.Node[i]
+		out.ProposalScore[idx] = d.Score[i]
+		prev = idx
+	}
+	out.Dirty = append([]graph.NodeID(nil), d.Dirty...)
+	return out, nil
+}
+
+// appendCopy returns a fresh slice holding base followed by extra; unlike
+// append(base, extra...) it never aliases the base's backing array.
+func appendCopy[T any](base, extra []T) []T {
+	if len(base)+len(extra) == 0 {
+		return nil
+	}
+	out := make([]T, 0, len(base)+len(extra))
+	return append(append(out, base...), extra...)
+}

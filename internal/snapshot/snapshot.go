@@ -6,10 +6,12 @@
 //
 //	magic "RSNP" | uvarint version | kind byte | payload | CRC32-IEEE trailer
 //
-// where the trailer covers everything before it. Three kinds exist: a full
-// snapshot (both graphs followed by the session state), a single graph, and a
+// where the trailer covers everything before it. Four kinds exist: a full
+// snapshot (both graphs followed by the session state), a single graph, a
 // state-only snapshot (for stores that write the immutable graphs once and
-// checkpoint only the mutable state). The encoding is canonical — one byte
+// checkpoint only the mutable state), and a delta record (the changes since
+// a prior state checkpoint — see delta.go — for stores that checkpoint every
+// sweep and amortize full snapshots). The encoding is canonical — one byte
 // stream per value — so decode∘encode is the identity on bytes as well as on
 // values, which the round-trip fuzz suite pins.
 //
@@ -48,6 +50,7 @@ const (
 	kindFull  byte = 1 // g1, g2, session state
 	kindGraph byte = 2 // a single graph
 	kindState byte = 3 // session state only
+	kindDelta byte = 4 // a delta record against a prior state checkpoint
 )
 
 var errBadMagic = errors.New("snapshot: bad magic (not a snapshot stream)")
