@@ -1,24 +1,47 @@
-// Command serve exposes the reconciler as a long-lived HTTP/JSON service —
-// the operational shape of the problem, where networks are reconciled once
-// and trusted links keep trickling in.
+// Command serve exposes the reconciler as a long-lived, multi-tenant
+// HTTP/JSON service — the operational shape of the problem, where networks
+// are reconciled once and trusted links keep trickling in, and many
+// independent customers share one deployment.
 //
 // Usage:
 //
-//	serve -addr :8080 [-data-dir /var/lib/reconcile] [-shards 4] [-full-every 8] [-keep 3]
+//	serve -addr :8080 [-data-dir /var/lib/reconcile] [-shards 4]
+//	      [-full-every 8] [-keep 3] [-tenants tenants.json]
+//	      [-admin-token $TOKEN] [-run-slots N] [-max-body-bytes N]
+//	      [-shutdown-grace 15s]
 //
 // With -data-dir the server is crash-safe: every job is persisted to a
-// sharded, delta-checkpointed store (graphs once; per-sweep checkpoints as
+// sharded, delta-checkpointed store under its tenant's root
+// (<data-dir>/<tenant>/shard-NN/...; graphs once, per-sweep checkpoints as
 // chains of one full state snapshot followed by cheap delta records), all
 // jobs are re-listed after a restart with their results intact, and a job
 // that was mid-run when the process died comes back as "interrupted" —
-// POST /v1/jobs/{id}/resume finishes it with a matching bit-identical to a
-// never-interrupted run. Jobs hash across -shards directories (independent
-// fsync domains), a full snapshot anchors every -full-every-th checkpoint,
-// and the last -keep full chains are retained per job. A flat pre-shard
-// -data-dir layout is auto-detected and stays readable. Without -data-dir
+// POST .../resume finishes it with a matching bit-identical to a
+// never-interrupted run. Jobs hash across -shards directories per tenant
+// (independent fsync domains), a full snapshot anchors every
+// -full-every-th checkpoint, and the last -keep full chains are retained
+// per job. Pre-tenant -data-dir layouts (flat or root-sharded) migrate
+// automatically into the default tenant's root at boot. Without -data-dir
 // jobs live in RAM only.
 //
-// API (all bodies JSON):
+// Multi-tenancy: every job belongs to a tenant. The un-namespaced routes
+// below operate on the built-in "default" tenant, so single-tenant
+// deployments and pre-tenancy clients keep working unchanged; the same
+// routes exist for every registered tenant under
+// /v1/tenants/{tenant}/jobs... . Tenants are declared in the -tenants JSON
+// config file ({"tenants": [{"name": ..., "token"|"tokenEnv": ...,
+// "weight": ..., "maxJobs": ..., "maxNodes": ..., "maxCheckpointBytes":
+// ...}, ...]}) or registered at runtime over the admin API. A tenant with
+// a token requires "Authorization: Bearer <token>" on every request to its
+// namespace (401 without a token, 403 with a wrong one); a tenant without
+// one is open, which is also the default tenant's initial state. Quotas
+// are admission limits (429 when exceeded): concurrent runs, total graph
+// nodes, and durable checkpoint bytes under the tenant's store root.
+// -run-slots caps run goroutines across all tenants; a weighted-fair
+// scheduler shares the slots so no tenant can starve another (see
+// DESIGN.md "Multi-tenancy").
+//
+// API (all bodies JSON; {tenant} routes take the tenant's bearer token):
 //
 //	POST /v1/jobs                  submit {g1, g2, seeds, options,
 //	                               untilStable, maxSweeps}; answers 202
@@ -28,11 +51,14 @@
 //	                               maxSweeps, default 50); otherwise the
 //	                               job performs options.iterations sweeps
 //	                               and maxSweeps is ignored
-//	GET  /v1/jobs                  list all jobs
+//	GET  /v1/jobs                  list the tenant's jobs
 //	GET  /v1/jobs/{id}             job status, link counts and per-bucket
 //	                               phase statistics (streamed live while
 //	                               the job runs); ?pairs=1 appends the
 //	                               links once the job has stopped
+//	DELETE /v1/jobs/{id}           cancel the job if running, purge its
+//	                               graphs/checkpoints/meta from the store,
+//	                               release its quota
 //	POST /v1/jobs/{id}/seeds       ingest {seeds: [[l, r], ...]}
 //	                               incrementally and resume sweeping until
 //	                               stable
@@ -45,6 +71,12 @@
 //	                               from its last state, finishing the
 //	                               schedule bit-identically to an
 //	                               uninterrupted run
+//	/v1/tenants/{tenant}/jobs...   every route above, namespaced
+//	GET  /v1/admin/tenants         tenant configs plus live usage (active
+//	                               runs, held/queued run slots, nodes,
+//	                               checkpoint bytes); takes -admin-token
+//	PUT  /v1/admin/tenants/{name}  register a tenant or update its token,
+//	                               weight and quotas in place
 //	GET  /healthz                  liveness
 //
 // Graphs are submitted as {"nodes": n, "edges": [[u, v], ...]} with dense
@@ -52,25 +84,50 @@
 // mirror the functional options of the Go API: threshold, iterations,
 // engine ("frontier"/"parallel"/"sequential" — identical output, see
 // DESIGN.md for the scheduling difference), scoring ("count"/"adamic-adar"),
-// ties
-// ("reject"/"lowest-id"), workers, margin, bucketing, minBucketExp,
-// maxDegree.
+// ties ("reject"/"lowest-id"), workers, margin, bucketing, minBucketExp,
+// maxDegree. Request bodies beyond -max-body-bytes are refused with 413.
+//
+// On SIGINT/SIGTERM the server drains gracefully within -shutdown-grace:
+// in-flight HTTP requests complete, running jobs are cancelled at their
+// next bucket boundary, and each durable job writes a final checkpoint —
+// so a restart re-lists them as "cancelled" at their exact stop point and
+// POST .../resume finishes them bit-identically, instead of the crash
+// path's "interrupted" at the last sweep boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
+
+	"github.com/sociograph/reconcile/internal/tenant"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data-dir", "", "job store directory; enables crash-safe durable jobs (empty: in-memory only)")
-	shards := flag.Int("shards", 4, "shard directories new jobs hash across; each is an independent fsync domain (mount on separate volumes to spread checkpoint IO)")
+	shards := flag.Int("shards", 4, "shard directories new jobs hash across within each tenant's root; each is an independent fsync domain (mount on separate volumes to spread checkpoint IO)")
 	fullEvery := flag.Int("full-every", 8, "checkpoint chain period: one full state snapshot, then full-every-1 cheap delta records (1 = every checkpoint full)")
 	keep := flag.Int("keep", 3, "full checkpoint chains retained per job; older records are removed after each new full and on boot")
+	tenantsFile := flag.String("tenants", "", "tenant registry JSON ({\"tenants\": [{name, token|tokenEnv, weight, maxJobs, maxNodes, maxCheckpointBytes}, ...]}); empty: only the open default tenant")
+	adminToken := flag.String("admin-token", os.Getenv("RECONCILE_ADMIN_TOKEN"), "bearer token for /v1/admin (default $RECONCILE_ADMIN_TOKEN; empty leaves the admin API open)")
+	runSlots := flag.Int("run-slots", runtime.GOMAXPROCS(0), "concurrent run goroutines across all tenants, shared by weighted fair scheduling (0: unlimited)")
+	maxBodyBytes := flag.Int64("max-body-bytes", defaultMaxBodyBytes, "largest accepted request body; oversized bodies answer 413")
+	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget after SIGINT/SIGTERM: running jobs stop at a bucket boundary and write a final checkpoint within this window")
 	flag.Parse()
+
+	reg := tenant.NewRegistry()
+	if *tenantsFile != "" {
+		if err := reg.LoadFile(*tenantsFile); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
 
 	var st *store
 	if *dataDir != "" {
@@ -79,18 +136,55 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}
-	s, skipped := newServer(st)
+	s, skipped := newServerWith(st, serverConfig{
+		registry:     reg,
+		runSlots:     *runSlots,
+		adminToken:   *adminToken,
+		maxBodyBytes: *maxBodyBytes,
+	})
 	for _, err := range skipped {
 		log.Printf("serve: skipping persisted job: %v", err)
 	}
 	if st != nil {
-		log.Printf("serve: job store at %s (%d jobs restored)", *dataDir, len(s.jobs))
+		restored := 0
+		s.mu.Lock()
+		for _, tj := range s.tenants {
+			restored += len(tj.jobs)
+		}
+		s.mu.Unlock()
+		log.Printf("serve: job store at %s (%d tenants, %d jobs restored)", *dataDir, len(reg.All()), restored)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("serve: listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+	log.Printf("serve: signal received; draining (budget %s)", *shutdownGrace)
+	dctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	// Cancel jobs first: handlers parked on a running job (DELETE waiting
+	// out a run) unblock, so the HTTP drain below cannot starve the job
+	// drain of the shared grace budget.
+	jobs := s.cancelRunning()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("serve: http shutdown: %v", err)
+	}
+	if err := s.awaitDrain(dctx, jobs); err != nil {
+		log.Printf("serve: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("serve: drained; final checkpoints written")
 }

@@ -2,15 +2,18 @@ package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/sociograph/reconcile"
+	"github.com/sociograph/reconcile/internal/tenant"
 )
 
 // jobStatus is the lifecycle of a submitted reconciliation job.
@@ -88,9 +91,11 @@ type jobView struct {
 // never concurrently.
 type job struct {
 	id          string
-	num         int       // creation order (job IDs sort lexicographically past 9)
-	n1, n2      int       // node counts, for validating incremental seeds up front
-	js          *jobStore // the job's slice of the store; nil without -data-dir
+	num         int            // creation order (job IDs sort lexicographically past 9)
+	tname       string         // owning tenant's name
+	tn          *tenant.Tenant // owning tenant (quota counters)
+	n1, n2      int            // node counts, for validating incremental seeds up front
+	js          *jobStore      // the job's slice of the store; nil without -data-dir
 	untilStable bool
 	maxSweeps   int
 
@@ -102,6 +107,7 @@ type job struct {
 	errMsg         string
 	seeds          int
 	links          int
+	deleted        bool           // DELETE in progress: no handler or persist may touch it again
 	wantCheckpoint bool           // one-shot: checkpoint at the next phase boundary
 	pending        sync.WaitGroup // run goroutine in flight (tests wait on it)
 }
@@ -126,7 +132,7 @@ func (j *job) metaLocked() jobMeta {
 // flight) — ExportState is only safe at a phase boundary, and the
 // checkpoint chain's delta base advances with each write.
 func (j *job) persistLocked() error {
-	if j.js == nil {
+	if j.js == nil || j.deleted {
 		return nil
 	}
 	err := j.js.checkpoint(j.rec, j.metaLocked())
@@ -159,33 +165,111 @@ func (j *job) view(includePairs bool) jobView {
 	return v
 }
 
-// server is the reconciliation service: a job table over the Reconciler API,
-// optionally backed by a crash-safe on-disk store (-data-dir).
-type server struct {
-	store *store // nil: jobs live in RAM only
-
-	mu     sync.Mutex
+// tenantJobs is one tenant's job table. Guarded by the server mutex.
+type tenantJobs struct {
+	name   string
 	jobs   map[string]*job
 	nextID int
 }
 
-// newServer builds the service. With a store, previously persisted jobs are
-// restored from their last checkpoints and re-listed: finished jobs keep
-// their terminal status and full results; jobs that were running when the
-// process died come back as "interrupted" and can be finished with POST
-// /v1/jobs/{id}/resume. Unreadable or half-written jobs are skipped, not
-// fatal — crash recovery must not brick the service.
+// serverConfig carries the serve layer's tenancy and hardening knobs.
+type serverConfig struct {
+	registry *tenant.Registry
+	// runSlots caps concurrent run goroutines across all tenants; <= 0
+	// means unlimited (the pre-tenancy behaviour).
+	runSlots int
+	// adminToken protects /v1/admin; empty leaves the admin surface open
+	// (development mode — set it in any shared deployment).
+	adminToken string
+	// maxBodyBytes bounds every request body read; <= 0 uses
+	// defaultMaxBodyBytes.
+	maxBodyBytes int64
+}
+
+// defaultMaxBodyBytes bounds request bodies when -max-body-bytes is unset:
+// large enough for multi-million-edge graph submissions, small enough that
+// a stray upload cannot exhaust memory.
+const defaultMaxBodyBytes = 256 << 20
+
+// server is the reconciliation service: per-tenant job tables over the
+// Reconciler API, optionally backed by a crash-safe on-disk store
+// (-data-dir), with bearer-token auth, per-tenant quotas, and a
+// weighted-fair run-slot scheduler between tenants.
+type server struct {
+	store        *store // nil: jobs live in RAM only
+	reg          *tenant.Registry
+	sched        *tenant.Scheduler
+	adminToken   string
+	maxBodyBytes int64
+
+	mu      sync.Mutex
+	tenants map[string]*tenantJobs
+	// jobs aliases the default tenant's job table — the pre-tenancy field
+	// the store suites (and any single-tenant tooling) reach into.
+	jobs map[string]*job
+}
+
+// newServer builds a single-tenant service with pre-tenancy defaults: an
+// open unlimited default tenant, no admin token, unlimited run slots.
 func newServer(st *store) (*server, []error) {
-	s := &server{store: st, jobs: make(map[string]*job)}
+	return newServerWith(st, serverConfig{registry: tenant.NewRegistry()})
+}
+
+// newServerWith builds the service. With a store, previously persisted jobs
+// are restored per tenant from their last checkpoints and re-listed:
+// finished jobs keep their terminal status and full results; jobs that were
+// running when the process died come back as "interrupted" and can be
+// finished with POST .../resume. Tenants discovered on disk but absent from
+// the registry are auto-registered open and unlimited so their jobs stay
+// servable (tokens and quotas can be applied over the admin API).
+// Unreadable or half-written jobs are skipped, not fatal — crash recovery
+// must not brick the service.
+func newServerWith(st *store, cfg serverConfig) (*server, []error) {
+	reg := cfg.registry
+	if reg == nil {
+		reg = tenant.NewRegistry()
+	}
+	if cfg.maxBodyBytes <= 0 {
+		cfg.maxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &server{
+		store:        st,
+		reg:          reg,
+		sched:        tenant.NewScheduler(cfg.runSlots, reg),
+		adminToken:   cfg.adminToken,
+		maxBodyBytes: cfg.maxBodyBytes,
+		tenants:      make(map[string]*tenantJobs),
+	}
+	for _, t := range reg.All() {
+		s.tenantTable(t.Name())
+		if st != nil {
+			st.tenant(t.Name()) // pre-create the tenant's store root
+		}
+	}
+	s.jobs = s.tenantTable(tenant.Default).jobs
 	if st == nil {
 		return s, nil
 	}
 	loaded, maxNum, skipped := st.loadAll()
-	s.nextID = maxNum
+	for name, n := range maxNum {
+		if !tenant.ValidName(name) {
+			continue // load already skipped these jobs with errors
+		}
+		s.tenantTable(name).nextID = n
+	}
 	for _, p := range loaded {
+		if reg.Get(p.tenant) == nil {
+			if _, err := reg.Register(tenant.Config{Name: p.tenant}); err != nil {
+				skipped = append(skipped, fmt.Errorf("store: tenant %s: %w", p.tenant, err))
+				continue
+			}
+		}
+		t := reg.Get(p.tenant)
 		j := &job{
 			id:          p.meta.ID,
 			num:         p.meta.Num,
+			tname:       p.tenant,
+			tn:          t,
 			n1:          p.g1.NumNodes(),
 			n2:          p.g2.NumNodes(),
 			js:          p.js,
@@ -198,7 +282,7 @@ func newServer(st *store) (*server, []error) {
 		rec, err := reconcile.RestoreSessionState(p.g1, p.g2, p.state,
 			reconcile.WithProgress(s.progressHook(j)))
 		if err != nil {
-			skipped = append(skipped, fmt.Errorf("store: job %s: %w", p.meta.ID, err))
+			skipped = append(skipped, fmt.Errorf("store: tenant %s job %s: %w", p.tenant, p.meta.ID, err))
 			continue
 		}
 		j.rec = rec
@@ -220,9 +304,24 @@ func newServer(st *store) (*server, []error) {
 			j.status = statusInterrupted
 			j.errMsg = fmt.Sprintf("recovery dropped %d trailing checkpoint record(s); POST /v1/jobs/%s/resume to finish", p.dropped, j.id)
 		}
-		s.jobs[j.id] = j
+		// Restored jobs occupy their node quota (the data is resident);
+		// unchecked, because refusing data already on disk helps no one.
+		t.AddNodes(int64(j.n1 + j.n2))
+		s.tenantTable(p.tenant).jobs[j.id] = j
 	}
 	return s, skipped
+}
+
+// tenantTable returns (creating if needed) a tenant's job table.
+func (s *server) tenantTable(name string) *tenantJobs {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tj := s.tenants[name]
+	if tj == nil {
+		tj = &tenantJobs{name: name, jobs: make(map[string]*job)}
+		s.tenants[name] = tj
+	}
+	return tj
 }
 
 // wirePhases reconstructs the wire-form phase log from a Reconciler's own
@@ -262,7 +361,7 @@ func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
 			Total:     e.TotalLinks,
 		})
 		j.links = e.TotalLinks
-		persist := j.js != nil && (e.Bucket == e.Buckets || j.wantCheckpoint)
+		persist := j.js != nil && !j.deleted && (e.Bucket == e.Buckets || j.wantCheckpoint)
 		var meta jobMeta
 		var rec *reconcile.Reconciler
 		if persist {
@@ -285,20 +384,103 @@ func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
 	}
 }
 
-// handler routes the v1 API.
+// tenantHandler is a job-API handler bound to an authenticated tenant.
+type tenantHandler func(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant)
+
+// handler routes the v1 API: the tenant-namespaced job surface
+// (/v1/tenants/{tenant}/jobs...), the un-namespaced twin mapped to the
+// default tenant (every pre-tenancy client keeps working), and the admin
+// surface (/v1/admin/tenants).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("POST /v1/jobs", s.createJob)
-	mux.HandleFunc("GET /v1/jobs", s.listJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
-	mux.HandleFunc("POST /v1/jobs/{id}/seeds", s.addSeeds)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancelJob)
-	mux.HandleFunc("POST /v1/jobs/{id}/checkpoint", s.checkpointJob)
-	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.resumeJob)
+	routes := []struct {
+		method, suffix string
+		h              tenantHandler
+	}{
+		{"POST", "/jobs", s.createJob},
+		{"GET", "/jobs", s.listJobs},
+		{"GET", "/jobs/{id}", s.getJob},
+		{"DELETE", "/jobs/{id}", s.deleteJob},
+		{"POST", "/jobs/{id}/seeds", s.addSeeds},
+		{"POST", "/jobs/{id}/cancel", s.cancelJob},
+		{"POST", "/jobs/{id}/checkpoint", s.checkpointJob},
+		{"POST", "/jobs/{id}/resume", s.resumeJob},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.suffix, s.tenantRoute(rt.h))
+		mux.HandleFunc(rt.method+" /v1/tenants/{tenant}"+rt.suffix, s.tenantRoute(rt.h))
+	}
+	mux.HandleFunc("GET /v1/admin/tenants", s.adminRoute(s.adminListTenants))
+	mux.HandleFunc("PUT /v1/admin/tenants/{tenant}", s.adminRoute(s.adminPutTenant))
 	return mux
+}
+
+// bearerToken extracts the Authorization bearer token, if any.
+func bearerToken(r *http.Request) string {
+	auth := r.Header.Get("Authorization")
+	if token, ok := strings.CutPrefix(auth, "Bearer "); ok {
+		return strings.TrimSpace(token)
+	}
+	return ""
+}
+
+// tenantRoute authenticates the request against its tenant (the {tenant}
+// path segment, or the default tenant on un-namespaced routes), bounds the
+// body, and hands the authenticated tenant to the handler. Unknown tenants
+// are 404, missing credentials 401, wrong credentials 403.
+func (s *server) tenantRoute(h tenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("tenant")
+		if name == "" {
+			name = tenant.Default
+		}
+		t, err := s.reg.Authenticate(name, bearerToken(r))
+		switch {
+		case errors.Is(err, tenant.ErrUnknownTenant):
+			writeError(w, http.StatusNotFound, "no tenant %q", name)
+			return
+		case errors.Is(err, tenant.ErrNoToken):
+			w.Header().Set("WWW-Authenticate", `Bearer realm="reconcile"`)
+			writeError(w, http.StatusUnauthorized, "tenant %s requires a bearer token", name)
+			return
+		case errors.Is(err, tenant.ErrBadToken):
+			writeError(w, http.StatusForbidden, "token not valid for tenant %s", name)
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, "authenticating: %v", err)
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		}
+		h(w, r, s.tenantTable(name), t)
+	}
+}
+
+// adminRoute guards the admin surface with the -admin-token credential.
+// With no admin token configured the surface is open (development mode).
+func (s *server) adminRoute(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.adminToken != "" {
+			got := bearerToken(r)
+			if got == "" {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="reconcile-admin"`)
+				writeError(w, http.StatusUnauthorized, "admin API requires a bearer token")
+				return
+			}
+			if subtle.ConstantTimeCompare([]byte(got), []byte(s.adminToken)) != 1 {
+				writeError(w, http.StatusForbidden, "token not valid for the admin API")
+				return
+			}
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -309,6 +491,29 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeQuotaError renders a tenant admission refusal as 429 with the
+// standard error JSON.
+func writeQuotaError(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusTooManyRequests, "%v", err)
+}
+
+// decodeBody decodes a JSON request body, translating an
+// http.MaxBytesReader overrun into 413 and anything else into 400. Returns
+// false when a response has been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	return false
 }
 
 // buildOptions translates an optionsSpec into functional options.
@@ -389,12 +594,33 @@ func toPairs(raw [][2]int) []reconcile.Pair {
 	return out
 }
 
-// createJob handles POST /v1/jobs: build the graphs and a Reconciler, start
-// the run in a goroutine, answer 202 with the job id immediately.
-func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
+// runJob drives one admitted run on its own goroutine: wait for a fair
+// run slot (queued runs still read as "running" over the API — the queue
+// position is a scheduling detail), run, finish. The job-quota slot
+// acquired at admission is released in finish. Callers must hold j.mu, so
+// pending.Add is ordered before any deleteJob's pending.Wait (which takes
+// j.mu to set the deleted flag first).
+func (s *server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, run func(context.Context) error) {
+	j.pending.Add(1)
+	go func() {
+		defer j.pending.Done()
+		defer cancel()
+		release, err := s.sched.Acquire(ctx, j.tname)
+		if err != nil {
+			j.finish(err) // cancelled (or shut down) while queued
+			return
+		}
+		defer release()
+		j.finish(run(ctx))
+	}()
+}
+
+// createJob handles POST .../jobs: admit against the tenant's quotas, build
+// the graphs and a Reconciler, start the run in a goroutine, answer 202
+// with the job id immediately.
+func (s *server) createJob(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
 	var req jobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	g1, err := buildGraph(req.G1)
@@ -413,15 +639,42 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission control: a concurrent-run slot, the graph-node budget, and
+	// (with a store) the durable-byte budget. All-or-nothing — a refused
+	// submission holds nothing.
+	if err := t.AcquireJob(); err != nil {
+		writeQuotaError(w, err)
+		return
+	}
+	nodes := int64(req.G1.Nodes) + int64(req.G2.Nodes)
+	if err := t.ReserveNodes(nodes); err != nil {
+		t.ReleaseJob()
+		writeQuotaError(w, err)
+		return
+	}
+	undo := func() {
+		t.ReleaseJob()
+		t.ReleaseNodes(nodes)
+	}
+	if s.store != nil {
+		if err := t.CheckBytes(s.store.tenant(t.Name()).checkpointBytes()); err != nil {
+			undo()
+			writeQuotaError(w, err)
+			return
+		}
+	}
+
 	maxSweeps := req.MaxSweeps
 	if maxSweeps <= 0 {
 		maxSweeps = 50
 	}
 	s.mu.Lock()
-	s.nextID++
+	tj.nextID++
 	j := &job{
-		id:          fmt.Sprintf("job-%d", s.nextID),
-		num:         s.nextID,
+		id:          fmt.Sprintf("job-%d", tj.nextID),
+		num:         tj.nextID,
+		tname:       tj.name,
+		tn:          t,
 		n1:          req.G1.Nodes,
 		n2:          req.G2.Nodes,
 		untilStable: req.UntilStable,
@@ -429,10 +682,25 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 		status:      statusRunning,
 	}
 	if s.store != nil {
-		j.js = s.store.jobStore(j.id)
+		j.js = s.store.tenant(tj.name).jobStore(j.id)
 	}
-	s.jobs[j.id] = j
+	// Publish under the job lock and hold it for the entire creation: job
+	// IDs are predictable, so a racing DELETE can reach the job the moment
+	// it is in the table — serializing it behind the creation (and marking
+	// failed creations deleted) keeps it from purging a half-built job,
+	// double-releasing quotas, or letting saveGraphs recreate purged files.
+	j.mu.Lock()
+	tj.jobs[j.id] = j
 	s.mu.Unlock()
+	abort := func(code int, format string, args ...any) {
+		j.deleted = true
+		j.mu.Unlock()
+		s.mu.Lock()
+		delete(tj.jobs, j.id)
+		s.mu.Unlock()
+		undo()
+		writeError(w, code, format, args...)
+	}
 
 	opts = append(opts,
 		reconcile.WithSeeds(toPairs(req.Seeds)),
@@ -440,14 +708,10 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 
 	rec, err := reconcile.New(g1, g2, opts...)
 	if err != nil {
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.mu.Unlock()
-		writeError(w, http.StatusBadRequest, "constructing reconciler: %v", err)
+		abort(http.StatusBadRequest, "constructing reconciler: %v", err)
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j.mu.Lock()
 	j.rec = rec
 	j.cancel = cancel
 	j.seeds = rec.Len()
@@ -461,36 +725,28 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request) {
 			err = j.persistLocked()
 		}
 		if err != nil {
-			j.mu.Unlock()
-			s.mu.Lock()
-			delete(s.jobs, j.id)
-			s.mu.Unlock()
 			cancel()
-			writeError(w, http.StatusInternalServerError, "persisting job: %v", err)
+			abort(http.StatusInternalServerError, "persisting job: %v", err)
 			return
 		}
 	}
-	j.mu.Unlock()
-
-	j.pending.Add(1)
-	go func() {
-		defer j.pending.Done()
-		defer cancel()
+	s.runJob(ctx, cancel, j, func(ctx context.Context) error {
 		var err error
 		if req.UntilStable {
 			_, err = rec.RunUntilStable(ctx, maxSweeps)
 		} else {
 			_, err = rec.Run(ctx)
 		}
-		j.finish(err)
-	}()
+		return err
+	})
+	j.mu.Unlock()
 
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
 }
 
-// finish records a run's outcome on the job and persists the terminal state
+// finish records a run's outcome on the job, persists the terminal state
 // (for a cancelled job, that checkpoint is what a later resume finishes
-// from).
+// from), and releases the tenant's concurrent-run slot.
 func (j *job) finish(err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -509,11 +765,14 @@ func (j *job) finish(err error) {
 	if perr := j.persistLocked(); perr != nil {
 		log.Printf("serve: checkpoint of %s: %v", j.id, perr)
 	}
+	if j.tn != nil {
+		j.tn.ReleaseJob()
+	}
 }
 
-func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
+func (s *server) lookup(w http.ResponseWriter, r *http.Request, tj *tenantJobs) *job {
 	s.mu.Lock()
-	j := s.jobs[r.PathValue("id")]
+	j := tj.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
@@ -521,21 +780,21 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	return j
 }
 
-// getJob handles GET /v1/jobs/{id}; ?pairs=1 includes the link list once the
-// job has stopped running.
-func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
+// getJob handles GET .../jobs/{id}; ?pairs=1 includes the link list once
+// the job has stopped running.
+func (s *server) getJob(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
+	j := s.lookup(w, r, tj)
 	if j == nil {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view(r.URL.Query().Get("pairs") == "1"))
 }
 
-// listJobs handles GET /v1/jobs.
-func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
+// listJobs handles GET .../jobs.
+func (s *server) listJobs(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
 	s.mu.Lock()
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
+	jobs := make([]*job, 0, len(tj.jobs))
+	for _, j := range tj.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
@@ -547,19 +806,18 @@ func (s *server) listJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 }
 
-// addSeeds handles POST /v1/jobs/{id}/seeds: ingest incremental trusted
+// addSeeds handles POST .../jobs/{id}/seeds: ingest incremental trusted
 // links into a job that is not currently running, then resume sweeping
 // asynchronously until stable.
-func (s *server) addSeeds(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
+func (s *server) addSeeds(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
+	j := s.lookup(w, r, tj)
 	if j == nil {
 		return
 	}
 	var req struct {
 		Seeds [][2]int `json:"seeds"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 
@@ -567,6 +825,11 @@ func (s *server) addSeeds(w http.ResponseWriter, r *http.Request) {
 	if j.status == statusRunning {
 		j.mu.Unlock()
 		writeError(w, http.StatusConflict, "job %s is running; wait for it to finish", j.id)
+		return
+	}
+	if j.deleted {
+		j.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %q", j.id)
 		return
 	}
 	// All-or-nothing: Reconciler.AddSeeds commits seeds up to the first
@@ -602,9 +865,16 @@ func (s *server) addSeeds(w http.ResponseWriter, r *http.Request) {
 		usedL[p.Left] = p.Right
 		usedR[p.Right] = p.Left
 	}
+	// The ingest restarts sweeping: that run needs a concurrent-run slot.
+	if err := t.AcquireJob(); err != nil {
+		j.mu.Unlock()
+		writeQuotaError(w, err)
+		return
+	}
 	before := j.rec.Len()
 	if err := j.rec.AddSeeds(newSeeds); err != nil {
 		j.mu.Unlock()
+		t.ReleaseJob()
 		writeError(w, http.StatusConflict, "adding seeds: %v", err)
 		return
 	}
@@ -615,22 +885,18 @@ func (s *server) addSeeds(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	rec := j.rec
-	j.mu.Unlock()
-
-	j.pending.Add(1)
-	go func() {
-		defer j.pending.Done()
-		defer cancel()
+	s.runJob(ctx, cancel, j, func(ctx context.Context) error {
 		_, err := rec.RunUntilStable(ctx, j.maxSweeps)
-		j.finish(err)
-	}()
+		return err
+	})
+	j.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
 }
 
-// cancelJob handles POST /v1/jobs/{id}/cancel: stop a running job at the
+// cancelJob handles POST .../jobs/{id}/cancel: stop a running job at the
 // next bucket boundary. Cancelling a finished job is a no-op.
-func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
+func (s *server) cancelJob(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
+	j := s.lookup(w, r, tj)
 	if j == nil {
 		return
 	}
@@ -642,16 +908,58 @@ func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id})
 }
 
-// checkpointJob handles POST /v1/jobs/{id}/checkpoint: force a durable
+// deleteJob handles DELETE .../jobs/{id}: cancel any in-flight run, purge
+// the job's durable records, release its node quota, and forget it. The
+// freed checkpoint bytes immediately count toward the tenant's budget
+// again.
+func (s *server) deleteJob(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := tj.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	// Unlink first: no later handler can reach the job while we tear it
+	// down (a racing DELETE gets a clean 404).
+	delete(tj.jobs, id)
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	if j.deleted {
+		// A failed creation (or a prior DELETE holding a stale pointer)
+		// already tore the job down; its quotas are settled.
+		j.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	j.deleted = true // persistLocked and the progress hook stand down
+	if j.cancel != nil {
+		j.cancel()
+	}
+	j.mu.Unlock()
+	// Wait out the run goroutine (it stops at the next bucket boundary);
+	// after this no one drives the Reconciler or its chain.
+	j.pending.Wait()
+	if j.js != nil {
+		j.js.purge()
+		j.js.releaseBase()
+	}
+	t.ReleaseNodes(int64(j.n1) + int64(j.n2))
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+// checkpointJob handles POST .../jobs/{id}/checkpoint: force a durable
 // checkpoint now. An idle job is checkpointed synchronously (200); a running
 // job is flagged and checkpointed by its own run goroutine at the next
 // phase boundary — the only place its state is exportable (202).
-func (s *server) checkpointJob(w http.ResponseWriter, r *http.Request) {
+func (s *server) checkpointJob(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
 	if s.store == nil {
 		writeError(w, http.StatusConflict, "server started without -data-dir; nothing to checkpoint to")
 		return
 	}
-	j := s.lookup(w, r)
+	j := s.lookup(w, r, tj)
 	if j == nil {
 		return
 	}
@@ -669,12 +977,12 @@ func (s *server) checkpointJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "checkpoint": "written"})
 }
 
-// resumeJob handles POST /v1/jobs/{id}/resume: continue an interrupted or
+// resumeJob handles POST .../jobs/{id}/resume: continue an interrupted or
 // cancelled job from its current state — completing a sweep the stop split,
 // then the rest of the schedule (until-stable jobs sweep to stability). The
 // finished result is bit-identical to a never-stopped run.
-func (s *server) resumeJob(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(w, r)
+func (s *server) resumeJob(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
+	j := s.lookup(w, r, tj)
 	if j == nil {
 		return
 	}
@@ -687,18 +995,22 @@ func (s *server) resumeJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "job %s is %s; only interrupted or cancelled jobs resume", j.id, status)
 		return
 	}
+	if j.deleted {
+		j.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %q", j.id)
+		return
+	}
+	if err := t.AcquireJob(); err != nil {
+		j.mu.Unlock()
+		writeQuotaError(w, err)
+		return
+	}
 	j.status = statusRunning
 	j.errMsg = ""
 	ctx, cancel := context.WithCancel(context.Background())
 	j.cancel = cancel
 	rec := j.rec
-	j.mu.Unlock()
-
-	j.pending.Add(1)
-	go func() {
-		defer j.pending.Done()
-		defer cancel()
-		var err error
+	s.runJob(ctx, cancel, j, func(ctx context.Context) error {
 		if j.untilStable {
 			// Only the unspent sweep budget remains: an uninterrupted run
 			// would have stopped at maxSweeps total, so the resumed one must
@@ -707,11 +1019,152 @@ func (s *server) resumeJob(w http.ResponseWriter, r *http.Request) {
 			if remaining < 0 {
 				remaining = 0
 			}
-			_, err = rec.RunUntilStable(ctx, remaining)
-		} else {
-			_, err = rec.Resume(ctx)
+			_, err := rec.RunUntilStable(ctx, remaining)
+			return err
 		}
-		j.finish(err)
-	}()
+		_, err := rec.Resume(ctx)
+		return err
+	})
+	j.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
+}
+
+// tenantView is one row of GET /v1/admin/tenants.
+type tenantView struct {
+	Name   string        `json:"name"`
+	Auth   string        `json:"auth"` // "open" | "token"
+	Weight int           `json:"weight"`
+	Quotas tenant.Quotas `json:"quotas"`
+	Usage  tenantUsage   `json:"usage"`
+}
+
+type tenantUsage struct {
+	Jobs            int   `json:"jobs"`       // jobs in the table, any status
+	ActiveRuns      int   `json:"activeRuns"` // admitted against MaxJobs
+	RunSlots        int   `json:"runSlots"`   // fair-scheduler slots held
+	QueuedRuns      int   `json:"queuedRuns"` // waiting for a slot
+	Nodes           int64 `json:"nodes"`
+	CheckpointBytes int64 `json:"checkpointBytes"`
+}
+
+// adminTenantView assembles one tenant's config-plus-usage row.
+func (s *server) adminTenantView(t *tenant.Tenant) tenantView {
+	name := t.Name()
+	auth := "token"
+	if t.Open() {
+		auth = "open"
+	}
+	active, nodes := t.Usage()
+	v := tenantView{
+		Name:   name,
+		Auth:   auth,
+		Weight: t.Weight(),
+		Quotas: t.Quotas(),
+		Usage: tenantUsage{
+			ActiveRuns: active,
+			RunSlots:   s.sched.InFlight(name),
+			QueuedRuns: s.sched.Queued(name),
+			Nodes:      nodes,
+		},
+	}
+	s.mu.Lock()
+	if tj := s.tenants[name]; tj != nil {
+		v.Usage.Jobs = len(tj.jobs)
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		v.Usage.CheckpointBytes = s.store.tenant(name).checkpointBytes()
+	}
+	return v
+}
+
+// adminListTenants handles GET /v1/admin/tenants.
+func (s *server) adminListTenants(w http.ResponseWriter, r *http.Request) {
+	views := []tenantView{}
+	for _, t := range s.reg.All() {
+		views = append(views, s.adminTenantView(t))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": views})
+}
+
+// adminPutTenant handles PUT /v1/admin/tenants/{tenant}: register a tenant
+// or update its token, weight and quotas in place. Tokens travel in the
+// body — run the admin surface behind TLS.
+func (s *server) adminPutTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	var cfg tenant.Config
+	if !decodeBody(w, r, &cfg) {
+		return
+	}
+	if cfg.Name == "" {
+		cfg.Name = name
+	}
+	if cfg.Name != name {
+		writeError(w, http.StatusBadRequest, "body names tenant %q, path %q", cfg.Name, name)
+		return
+	}
+	t, err := s.reg.Register(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.tenantTable(name)
+	if s.store != nil {
+		s.store.tenant(name) // create the tenant's store root eagerly
+	}
+	writeJSON(w, http.StatusOK, s.adminTenantView(t))
+}
+
+// cancelRunning starts a graceful drain: every running job's context is
+// cancelled (the run stops at its next bucket boundary and finish() writes
+// a final durable checkpoint). Returns every job for awaitDrain. Called
+// BEFORE http.Server.Shutdown in main: a handler parked on a running job
+// (DELETE in pending.Wait) would otherwise hold HTTP shutdown open while
+// the job it is waiting for is only cancelled afterwards — burning the
+// whole grace budget on a self-inflicted deadlock.
+func (s *server) cancelRunning() []*job {
+	s.mu.Lock()
+	var jobs []*job
+	for _, tj := range s.tenants {
+		for _, j := range tj.jobs {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.status == statusRunning && j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	return jobs
+}
+
+// awaitDrain waits (bounded by ctx) for the run goroutines of jobs
+// returned by cancelRunning to finish; each finish() has then written its
+// final checkpoint, so with a store a restart re-lists drained jobs as
+// "cancelled" with current state and POST .../resume completes them
+// bit-identically — instead of the crash path's "interrupted" at the last
+// sweep boundary.
+func (s *server) awaitDrain(ctx context.Context, jobs []*job) error {
+	done := make(chan struct{})
+	go func() {
+		for _, j := range jobs {
+			j.pending.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: jobs still draining at the shutdown deadline (up to %d unfinished)", len(jobs))
+	}
+}
+
+// shutdown is cancelRunning + awaitDrain in one call, for callers with no
+// HTTP listener to drain in between (tests).
+func (s *server) shutdown(ctx context.Context) error {
+	return s.awaitDrain(ctx, s.cancelRunning())
 }

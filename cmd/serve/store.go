@@ -5,56 +5,74 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/sociograph/reconcile"
+	"github.com/sociograph/reconcile/internal/tenant"
 )
 
-// store is the crash-safe on-disk job store behind -data-dir, sharded and
-// delta-checkpointed:
+// store is the crash-safe on-disk job store behind -data-dir: per-tenant
+// roots, each sharded and delta-checkpointed:
 //
 //	<data-dir>/
-//	  shard-00/ shard-01/ … shard-NN/    one directory per shard (-shards)
-//	    <id>.g1, <id>.g2                 the immutable graphs, written once
-//	    <id>.ckpt-00000001.full          a full state checkpoint
-//	    <id>.ckpt-00000002.delta         a delta record (changes since #1)
-//	    <id>.ckpt-….delta | .full        … the chain continues; a full every
+//	  default/                           one root per tenant
+//	    shard-00/ shard-01/ … shard-NN/  one directory per shard (-shards)
+//	      <id>.g1, <id>.g2               the immutable graphs, written once
+//	      <id>.ckpt-00000001.full        a full state checkpoint
+//	      <id>.ckpt-00000002.delta       a delta record (changes since #1)
+//	      <id>.ckpt-….delta | .full      … the chain continues; a full every
 //	                                     -full-every checkpoints
-//	    <id>.meta.json                   job-level bookkeeping
+//	      <id>.meta.json                 job-level bookkeeping
+//	  acme/
+//	    shard-00/ …                      every tenant gets its own shard set
 //
-// Jobs hash across the shard directories, so each shard is an independent
-// fsync domain — mount them on different volumes and N concurrent jobs stop
-// contending on one directory's rename+fsync path. Checkpoints form chains:
-// a full snapshot (reconcile.Checkpointer.WriteFull), then cheap delta
-// records holding only the pairs, phase entries and frontier-cache edits
-// since the previous checkpoint — O(churn) instead of O(matching), which is
-// what lets per-sweep checkpointing stay on by default at paper scale.
-// Recovery replays the newest readable full plus its contiguous deltas; a
-// missing or corrupt trailing record makes recovery fall back to the last
-// consistent prefix and surface the job as "interrupted" (its next resume
-// finishes bit-identically from there — the chain resume-equivalence suite
-// pins this). Retention keeps the last -keep full chains per job and
-// removes older records after each new full and on boot.
+// Within a tenant, jobs hash across the shard directories, so each shard is
+// an independent fsync domain — mount them on different volumes and N
+// concurrent jobs stop contending on one directory's rename+fsync path.
+// Tenant roots additionally keep tenants' durable bytes separable for
+// quota accounting: the store tracks the bytes under each root (graphs,
+// chain records, metas), rebuilt by a walk at boot and maintained
+// incrementally afterwards, and the serve layer checks that figure against
+// the tenant's checkpoint-byte quota at job admission.
 //
-// Every write is atomic — a temp file in the same shard directory, fsynced,
+// Checkpoints form chains: a full snapshot (reconcile.Checkpointer
+// .WriteFull), then cheap delta records holding only the pairs, phase
+// entries and frontier-cache edits since the previous checkpoint —
+// O(churn) instead of O(matching), which is what lets per-sweep
+// checkpointing stay on by default at paper scale. Recovery replays the
+// newest readable full plus its contiguous deltas; a missing or corrupt
+// trailing record makes recovery fall back to the last consistent prefix
+// and surface the job as "interrupted" (its next resume finishes
+// bit-identically from there — the chain resume-equivalence suite pins
+// this). Retention keeps the last -keep full chains per job and removes
+// older records after each new full and on boot.
+//
+// Every write is atomic — a temp file in the same directory, fsynced,
 // renamed, directory fsynced — so a crash mid-checkpoint leaves the
-// previous chain intact. The pre-shard flat layout (<data-dir>/<id>.state)
-// is auto-detected and read-compatible: legacy jobs load from their .state
-// snapshot, keep living in the root directory, and migrate to chain
-// checkpoints (which supersede the .state file) on their first write.
+// previous chain intact. Pre-tenant layouts migrate automatically: a
+// -data-dir whose root still holds shard-NN directories or flat job files
+// (the PR 3/4 layouts) has them moved under default/ at open, after which
+// the old read-compatibility paths keep working inside the default root
+// (legacy flat jobs load from their .state snapshot and move onto chain
+// checkpoints, which retire the .state file, on their first write).
 type store struct {
-	root      string
-	cfg       storeConfig
-	shardDirs []string // placement targets for new jobs, len == cfg.shards
+	root string
+	cfg  storeConfig
+
+	mu      sync.Mutex
+	tenants map[string]*tenantStore
 }
 
 // storeConfig carries the store's tuning flags.
 type storeConfig struct {
-	shards    int // shard directories for new jobs
+	shards    int // shard directories for new jobs, per tenant
 	fullEvery int // chain period: one full, then fullEvery-1 deltas
 	keep      int // full chains retained per job
 }
@@ -69,37 +87,177 @@ func newStore(dir string, cfg storeConfig) (*store, error) {
 	if cfg.keep < 1 {
 		return nil, fmt.Errorf("store: -keep must be >= 1 (got %d)", cfg.keep)
 	}
-	st := &store{root: dir, cfg: cfg}
+	st := &store{root: dir, cfg: cfg, tenants: make(map[string]*tenantStore)}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	for i := 0; i < cfg.shards; i++ {
-		sd := filepath.Join(dir, fmt.Sprintf("shard-%02d", i))
-		if err := os.MkdirAll(sd, 0o755); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+	if err := st.migrateLegacy(); err != nil {
+		return nil, fmt.Errorf("store: migrating pre-tenant layout: %w", err)
+	}
+	return st, nil
+}
+
+// migrateLegacy moves a pre-tenant -data-dir layout under the default
+// tenant's root: shard-NN directories and flat job files that used to live
+// at the top level belong to default/ now. Renames within one filesystem
+// are cheap and leave file contents untouched, so chains stay replayable
+// byte for byte. A partially migrated dir (crash mid-migration) is fine:
+// migration is idempotent and merges into an existing default/.
+func (st *store) migrateLegacy() error {
+	entries, err := os.ReadDir(st.root)
+	if err != nil {
+		return err
+	}
+	var legacy []os.DirEntry
+	for _, e := range entries {
+		if e.IsDir() {
+			if strings.HasPrefix(e.Name(), "shard-") {
+				legacy = append(legacy, e)
+			}
+			continue
 		}
-		st.shardDirs = append(st.shardDirs, sd)
+		if strings.Contains(e.Name(), ".tmp-") {
+			os.Remove(filepath.Join(st.root, e.Name())) // orphaned temp file
+			continue
+		}
+		legacy = append(legacy, e)
+	}
+	if len(legacy) == 0 {
+		return nil
+	}
+	defRoot := filepath.Join(st.root, tenant.Default)
+	if err := os.MkdirAll(defRoot, 0o755); err != nil {
+		return err
+	}
+	for _, e := range legacy {
+		src := filepath.Join(st.root, e.Name())
+		dst := filepath.Join(defRoot, e.Name())
+		if err := moveMerge(src, dst); err != nil {
+			return err
+		}
+	}
+	return syncDir(st.root)
+}
+
+// moveMerge renames src to dst; when dst is an existing directory the
+// contents are merged file by file (a re-run after a crash mid-migration,
+// or a shard dir that already exists under default/).
+func moveMerge(src, dst string) error {
+	if _, err := os.Stat(dst); os.IsNotExist(err) {
+		return os.Rename(src, dst)
+	}
+	fi, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	if !fi.IsDir() {
+		return os.Rename(src, dst) // overwrite a half-moved file
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := moveMerge(filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+			return err
+		}
+	}
+	return os.Remove(src)
+}
+
+// tenantNames lists the tenant roots present on disk, sorted. Directories
+// whose names are not valid tenant names (a stray lost+found, a backup
+// folder) are not tenant roots: they are reported in skipped and — more
+// importantly — never handed to tenant(), which would create shard
+// directories inside them.
+func (st *store) tenantNames() (names []string, skipped []error) {
+	entries, err := os.ReadDir(st.root)
+	if err != nil {
+		return nil, []error{err}
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !tenant.ValidName(e.Name()) {
+			skipped = append(skipped, fmt.Errorf("store: ignoring non-tenant directory %s", filepath.Join(st.root, e.Name())))
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, skipped
+}
+
+// tenant returns (creating on first use) the named tenant's slice of the
+// store. Directory creation is best-effort: a failure surfaces as an IO
+// error on the first write rather than here.
+func (st *store) tenant(name string) *tenantStore {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ts := st.tenants[name]; ts != nil {
+		return ts
+	}
+	ts := &tenantStore{store: st, name: name, root: filepath.Join(st.root, name)}
+	os.MkdirAll(ts.root, 0o755)
+	for i := 0; i < st.cfg.shards; i++ {
+		sd := filepath.Join(ts.root, fmt.Sprintf("shard-%02d", i))
+		os.MkdirAll(sd, 0o755)
+		ts.shardDirs = append(ts.shardDirs, sd)
 	}
 	// A crash between CreateTemp and rename orphans a temp file; sweep them
-	// here so checkpoint-heavy servers do not leak one per crash. Nothing
-	// else is running against the store at open time. Swept in every
+	// so checkpoint-heavy servers do not leak one per crash. Swept in every
 	// directory that exists, including shards beyond the current -shards
 	// (the store reads jobs wherever a previous configuration put them).
-	for _, d := range append([]string{dir}, st.allShardDirs()...) {
+	for _, d := range append([]string{ts.root}, ts.allShardDirs()...) {
 		if stale, err := filepath.Glob(filepath.Join(d, "*.tmp-*")); err == nil {
 			for _, path := range stale {
 				os.Remove(path)
 			}
 		}
 	}
-	return st, nil
+	st.tenants[name] = ts
+	return ts
 }
 
-// allShardDirs lists every shard directory present on disk — not just the
-// first cfg.shards — so jobs placed by a previous -shards setting stay
-// readable.
-func (st *store) allShardDirs() []string {
-	dirs, err := filepath.Glob(filepath.Join(st.root, "shard-*"))
+// tenantStore is one tenant's root: its shard set and its durable-byte
+// accounting (the figure the tenant's checkpoint-byte quota is checked
+// against at job admission).
+type tenantStore struct {
+	store *store
+	name  string
+	root  string
+	// shardDirs are the placement targets for new jobs, len == cfg.shards.
+	shardDirs []string
+	// bytes is the durable footprint under root: graphs, chain records,
+	// metas and legacy .state files. Rebuilt by a walk at boot
+	// (recountBytes), adjusted incrementally by tracked writes/removes.
+	bytes atomic.Int64
+}
+
+// checkpointBytes returns the tenant's current durable footprint.
+func (ts *tenantStore) checkpointBytes() int64 { return ts.bytes.Load() }
+
+// recountBytes rebuilds the byte accounting from a filesystem walk.
+func (ts *tenantStore) recountBytes() {
+	var total int64
+	filepath.WalkDir(ts.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			total += fi.Size()
+		}
+		return nil
+	})
+	ts.bytes.Store(total)
+}
+
+// allShardDirs lists every shard directory present under the tenant root —
+// not just the first cfg.shards — so jobs placed by a previous -shards
+// setting stay readable.
+func (ts *tenantStore) allShardDirs() []string {
+	dirs, err := filepath.Glob(filepath.Join(ts.root, "shard-*"))
 	if err != nil {
 		return nil
 	}
@@ -113,11 +271,18 @@ func (st *store) allShardDirs() []string {
 	return out
 }
 
-// jobStore returns the handle for a new job, placed on its hash shard.
-func (st *store) jobStore(id string) *jobStore {
+// jobStore returns the handle for a new job, placed on its hash shard
+// within the tenant's shard set.
+func (ts *tenantStore) jobStore(id string) *jobStore {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return &jobStore{store: st, id: id, dir: st.shardDirs[h.Sum32()%uint32(len(st.shardDirs))]}
+	return &jobStore{ts: ts, id: id, dir: ts.shardDirs[h.Sum32()%uint32(len(ts.shardDirs))]}
+}
+
+// jobStore returns the default tenant's handle for a job — the pre-tenancy
+// call surface, kept for the store suites and single-tenant tooling.
+func (st *store) jobStore(id string) *jobStore {
+	return st.tenant(tenant.Default).jobStore(id)
 }
 
 // jobMeta is the JSON sidecar of a persisted job: everything the server
@@ -138,9 +303,9 @@ type jobMeta struct {
 // time (the run goroutine inside a progress hook, or a handler while no run
 // is in flight), like the Reconciler it checkpoints.
 type jobStore struct {
-	store *store
-	dir   string
-	id    string
+	ts  *tenantStore
+	dir string
+	id  string
 
 	seq       int // sequence number of the newest chain record on disk
 	sinceFull int // chain records written since the last full
@@ -154,6 +319,34 @@ func (js *jobStore) path(suffix string) string {
 
 func (js *jobStore) chainPath(seq int, kind string) string {
 	return js.path(fmt.Sprintf(".ckpt-%08d.%s", seq, kind))
+}
+
+// fileSize returns a file's size, or 0 when it does not exist.
+func fileSize(path string) int64 {
+	if fi, err := os.Stat(path); err == nil {
+		return fi.Size()
+	}
+	return 0
+}
+
+// writeTracked is atomicWrite plus tenant byte accounting: the delta
+// between the file's size before and after lands on the tenant's counter
+// (metas are overwritten in place, so the delta is what matters).
+func (js *jobStore) writeTracked(path string, write func(*os.File) error) error {
+	old := fileSize(path)
+	if err := atomicWrite(path, write); err != nil {
+		return err
+	}
+	js.ts.bytes.Add(fileSize(path) - old)
+	return nil
+}
+
+// removeTracked deletes a file and credits its bytes back to the tenant.
+func (js *jobStore) removeTracked(path string) {
+	sz := fileSize(path)
+	if err := os.Remove(path); err == nil {
+		js.ts.bytes.Add(-sz)
+	}
 }
 
 // atomicWrite writes via a temp file in the same directory, fsyncs it,
@@ -202,7 +395,7 @@ func (js *jobStore) saveGraphs(g1, g2 *reconcile.Graph) error {
 		suffix string
 		g      *reconcile.Graph
 	}{{".g1", g1}, {".g2", g2}} {
-		err := atomicWrite(js.path(f.suffix), func(w *os.File) error {
+		err := js.writeTracked(js.path(f.suffix), func(w *os.File) error {
 			return reconcile.WriteGraphBinary(w, f.g)
 		})
 		if err != nil {
@@ -222,9 +415,9 @@ func (js *jobStore) saveGraphs(g1, g2 *reconcile.Graph) error {
 // never have become durable.
 func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 	seq := js.seq + 1
-	wantFull := !js.haveBase || js.sinceFull+1 >= js.store.cfg.fullEvery
+	wantFull := !js.haveBase || js.sinceFull+1 >= js.ts.store.cfg.fullEvery
 	if !wantFull {
-		err := atomicWrite(js.chainPath(seq, "delta"), func(w *os.File) error {
+		err := js.writeTracked(js.chainPath(seq, "delta"), func(w *os.File) error {
 			return js.ckpt.WriteDelta(w, rec)
 		})
 		switch {
@@ -238,7 +431,7 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 		}
 	}
 	if wantFull {
-		if err := atomicWrite(js.chainPath(seq, "full"), func(w *os.File) error {
+		if err := js.writeTracked(js.chainPath(seq, "full"), func(w *os.File) error {
 			return js.ckpt.WriteFull(w, rec)
 		}); err != nil {
 			js.haveBase = false
@@ -249,7 +442,7 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 		js.retireOld()
 	}
 	js.seq = seq
-	err := atomicWrite(js.path(".meta.json"), func(w *os.File) error {
+	err := js.writeTracked(js.path(".meta.json"), func(w *os.File) error {
 		return json.NewEncoder(w).Encode(meta)
 	})
 	if err != nil {
@@ -266,6 +459,19 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 func (js *jobStore) releaseBase() {
 	js.ckpt = reconcile.Checkpointer{}
 	js.haveBase = false
+}
+
+// purge deletes every durable record of the job — chain, graphs, meta and
+// any legacy .state — crediting the bytes back to the tenant. Used by
+// DELETE /v1/.../jobs/{id}; the caller guarantees no run goroutine is
+// still driving the job.
+func (js *jobStore) purge() {
+	for _, rec := range js.listChain() {
+		js.removeTracked(rec.path)
+	}
+	for _, suffix := range []string{".g1", ".g2", ".state", ".meta.json"} {
+		js.removeTracked(js.path(suffix))
+	}
 }
 
 // chainRecord locates one checkpoint file of a job's chain.
@@ -319,15 +525,15 @@ func (js *jobStore) retireOld() {
 	if len(fullSeqs) == 0 {
 		return
 	}
-	if len(fullSeqs) > js.store.cfg.keep {
-		minKeep := fullSeqs[len(fullSeqs)-js.store.cfg.keep]
+	if len(fullSeqs) > js.ts.store.cfg.keep {
+		minKeep := fullSeqs[len(fullSeqs)-js.ts.store.cfg.keep]
 		for _, rec := range records {
 			if rec.seq < minKeep {
-				os.Remove(rec.path)
+				js.removeTracked(rec.path)
 			}
 		}
 	}
-	os.Remove(js.path(".state")) // pre-shard layout, superseded by the chain
+	js.removeTracked(js.path(".state")) // pre-shard layout, superseded by the chain
 }
 
 // recoverState replays the job's chain: the newest readable full snapshot
@@ -409,6 +615,7 @@ func (js *jobStore) replayFrom(records []chainRecord, i int) (*reconcile.Session
 
 // persisted is one job loaded back from disk.
 type persisted struct {
+	tenant  string
 	meta    jobMeta
 	g1, g2  *reconcile.Graph
 	state   *reconcile.SessionState
@@ -416,51 +623,64 @@ type persisted struct {
 	dropped int // trailing chain records recovery had to abandon
 }
 
-// loadAll reads every fully-persisted job, in creation order, walking the
-// root directory (pre-shard flat layouts) and every shard directory. Jobs
-// whose files are incomplete or unreadable (e.g. a crash between submission
-// and the first checkpoint, or a snapshot from a newer format version) are
-// skipped and reported in the last return value. maxNum is the highest job
-// number present anywhere — including skipped jobs, whose number is
-// recovered from the "job-N" filename — so new submissions never reuse a
-// skipped job's ID and overwrite files a newer binary could still recover.
-func (st *store) loadAll() (out []persisted, maxNum int, skipped []error) {
-	seen := map[string]string{}
-	for _, dir := range append([]string{st.root}, st.allShardDirs()...) {
-		metas, err := filepath.Glob(filepath.Join(dir, "*.meta.json"))
-		if err != nil {
-			skipped = append(skipped, err)
-			continue
-		}
-		sort.Strings(metas)
-		for _, path := range metas {
-			id := strings.TrimSuffix(filepath.Base(path), ".meta.json")
-			if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n > maxNum {
-				maxNum = n
-			}
-			if prev, dup := seen[id]; dup {
-				skipped = append(skipped, fmt.Errorf("store: job %s: duplicate directories %s and %s", id, prev, dir))
-				continue
-			}
-			seen[id] = dir
-			p, err := st.load(dir, id)
+// loadAll reads every fully-persisted job, in creation order per tenant,
+// walking each tenant root (flat pre-shard layouts migrate here) and every
+// shard directory beneath it. Jobs whose files are incomplete or unreadable
+// (e.g. a crash between submission and the first checkpoint, or a snapshot
+// from a newer format version) are skipped and reported in the last return
+// value. maxNum maps each tenant to the highest job number present anywhere
+// under its root — including skipped jobs, whose number is recovered from
+// the "job-N" filename — so new submissions never reuse a skipped job's ID
+// and overwrite files a newer binary could still recover. As a side effect
+// each tenant's durable-byte accounting is rebuilt from a walk.
+func (st *store) loadAll() (out []persisted, maxNum map[string]int, skipped []error) {
+	maxNum = make(map[string]int)
+	names, skipped := st.tenantNames()
+	for _, name := range names {
+		ts := st.tenant(name)
+		ts.recountBytes()
+		seen := map[string]string{}
+		for _, dir := range append([]string{ts.root}, ts.allShardDirs()...) {
+			metas, err := filepath.Glob(filepath.Join(dir, "*.meta.json"))
 			if err != nil {
-				skipped = append(skipped, fmt.Errorf("store: job %s: %w", id, err))
+				skipped = append(skipped, err)
 				continue
 			}
-			if p.meta.Num > maxNum {
-				maxNum = p.meta.Num
+			sort.Strings(metas)
+			for _, path := range metas {
+				id := strings.TrimSuffix(filepath.Base(path), ".meta.json")
+				if n, err := strconv.Atoi(strings.TrimPrefix(id, "job-")); err == nil && n > maxNum[name] {
+					maxNum[name] = n
+				}
+				if prev, dup := seen[id]; dup {
+					skipped = append(skipped, fmt.Errorf("store: tenant %s job %s: duplicate directories %s and %s", name, id, prev, dir))
+					continue
+				}
+				seen[id] = dir
+				p, err := ts.load(dir, id)
+				if err != nil {
+					skipped = append(skipped, fmt.Errorf("store: tenant %s job %s: %w", name, id, err))
+					continue
+				}
+				if p.meta.Num > maxNum[name] {
+					maxNum[name] = p.meta.Num
+				}
+				out = append(out, p)
 			}
-			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].meta.Num < out[b].meta.Num })
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].tenant != out[b].tenant {
+			return out[a].tenant < out[b].tenant
+		}
+		return out[a].meta.Num < out[b].meta.Num
+	})
 	return out, maxNum, skipped
 }
 
-func (st *store) load(dir, id string) (persisted, error) {
-	js := &jobStore{store: st, dir: dir, id: id}
-	p := persisted{js: js}
+func (ts *tenantStore) load(dir, id string) (persisted, error) {
+	js := &jobStore{ts: ts, dir: dir, id: id}
+	p := persisted{tenant: ts.name, js: js}
 	raw, err := os.ReadFile(js.path(".meta.json"))
 	if err != nil {
 		return p, err

@@ -315,8 +315,11 @@ func TestStoreShardPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Shard sets live under each tenant's root; jobs off the un-namespaced
+	// API land in default/.
+	st.tenant("default")
 	for i := 0; i < 4; i++ {
-		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%02d", i))); err != nil {
+		if _, err := os.Stat(filepath.Join(dir, "default", fmt.Sprintf("shard-%02d", i))); err != nil {
 			t.Fatalf("missing shard dir: %v", err)
 		}
 	}
@@ -452,19 +455,24 @@ func TestStoreLegacyFlatLayout(t *testing.T) {
 		t.Fatalf("legacy job loaded as %q with %d links, want done with %d", v.Status, v.Links, len(res.Pairs))
 	}
 
-	// Its first new checkpoint starts a chain in the root directory and
+	// Migration moved the flat files under the default tenant's root.
+	if _, err := os.Stat(filepath.Join(dir, "job-1.state")); !os.IsNotExist(err) {
+		t.Fatalf("flat .state not migrated out of the data-dir root (err=%v)", err)
+	}
+
+	// Its first new checkpoint starts a chain in the tenant root and
 	// retires the .state file.
 	resp := postJSON(t, ts.URL+"/v1/jobs/job-1/checkpoint", nil)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("checkpoint of legacy job: status %d", resp.StatusCode)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "job-1.state")); !os.IsNotExist(err) {
+	if _, err := os.Stat(filepath.Join(dir, "default", "job-1.state")); !os.IsNotExist(err) {
 		t.Fatalf(".state not retired after chain checkpoint (err=%v)", err)
 	}
-	chain, err := filepath.Glob(filepath.Join(dir, "job-1.ckpt-*"))
+	chain, err := filepath.Glob(filepath.Join(dir, "default", "job-1.ckpt-*"))
 	if err != nil || len(chain) == 0 {
-		t.Fatalf("no chain records in the root for the legacy job (err=%v)", err)
+		t.Fatalf("no chain records in the tenant root for the legacy job (err=%v)", err)
 	}
 	ts.Close()
 

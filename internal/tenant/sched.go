@@ -1,0 +1,244 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+)
+
+// Scheduler allocates a fixed pool of run slots across tenants so that no
+// tenant can monopolize the service's run goroutines. Two mechanisms
+// compose:
+//
+//   - a weighted share bound: while several tenants have demand (slots held
+//     or work queued), tenant t may hold at most
+//     max(1, capacity * weight(t) / totalActiveWeight) slots. A tenant
+//     alone on the scheduler gets the whole pool; the moment a second
+//     tenant shows demand the shares contract, so the first new release
+//     already goes to the newcomer — that is the bounded-wait guarantee
+//     the fairness suite pins.
+//
+//   - round-robin granting: freed slots are offered to queueing tenants in
+//     rotation, not FIFO over the global queue, so a tenant that enqueued
+//     100 runs ahead of a small tenant's single run does not starve it.
+//
+// Within one tenant, waiters are served strictly FIFO. Capacity <= 0 means
+// unlimited: Acquire never blocks and only the per-tenant usage counters
+// are maintained.
+type Scheduler struct {
+	reg      *Registry
+	capacity int
+
+	mu       sync.Mutex
+	total    int            // slots currently held
+	inflight map[string]int // slots held per tenant
+	queues   map[string][]*waiter
+	ring     []string // tenants with queued waiters, in arrival order
+	next     int      // ring index the next grant scan starts at
+}
+
+// waiter is one queued Acquire. granted and abandoned are guarded by the
+// scheduler mutex and resolve the race between a grant and a context
+// cancellation: whichever is recorded first wins.
+type waiter struct {
+	ch        chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+// NewScheduler builds a scheduler over the registry's weights. capacity is
+// the total number of concurrent run slots; <= 0 means unlimited.
+func NewScheduler(capacity int, reg *Registry) *Scheduler {
+	return &Scheduler{
+		reg:      reg,
+		capacity: capacity,
+		inflight: make(map[string]int),
+		queues:   make(map[string][]*waiter),
+	}
+}
+
+// Capacity returns the configured slot count (<= 0: unlimited).
+func (s *Scheduler) Capacity() int { return s.capacity }
+
+// InFlight returns the slots a tenant currently holds.
+func (s *Scheduler) InFlight(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight[name]
+}
+
+// Queued returns the number of runs a tenant has waiting for a slot.
+func (s *Scheduler) Queued(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, w := range s.queues[name] {
+		if !w.abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// weight returns a tenant's fair-share weight, defaulting to 1 for names
+// the registry does not know (jobs restored for since-unregistered dirs).
+func (s *Scheduler) weight(name string) int {
+	if t := s.reg.Get(name); t != nil {
+		return t.Weight()
+	}
+	return 1
+}
+
+// share computes tenant name's slot bound under current demand. Caller
+// holds s.mu.
+func (s *Scheduler) share(name string) int {
+	total := 0
+	counted := map[string]bool{}
+	for t, n := range s.inflight {
+		if n > 0 && !counted[t] {
+			counted[t] = true
+			total += s.weight(t)
+		}
+	}
+	for t, q := range s.queues {
+		if len(q) > 0 && !counted[t] {
+			counted[t] = true
+			total += s.weight(t)
+		}
+	}
+	if !counted[name] {
+		total += s.weight(name)
+	}
+	if total <= 0 {
+		return s.capacity
+	}
+	sh := s.capacity * s.weight(name) / total
+	if sh < 1 {
+		sh = 1
+	}
+	return sh
+}
+
+// Acquire blocks until the tenant is granted a run slot or ctx is done.
+// On success it returns the release function that must be called exactly
+// once when the run finishes.
+func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), err error) {
+	s.mu.Lock()
+	if s.capacity <= 0 {
+		s.inflight[name]++
+		s.mu.Unlock()
+		return func() { s.release(name) }, nil
+	}
+	// Grant inline only when no one is queued anywhere — a free slot with
+	// waiters pending always goes through the round-robin pump, so a late
+	// arrival cannot jump tenants that were already waiting.
+	if s.total < s.capacity && len(s.ring) == 0 && s.inflight[name] < s.share(name) {
+		s.total++
+		s.inflight[name]++
+		s.mu.Unlock()
+		return func() { s.release(name) }, nil
+	}
+	w := &waiter{ch: make(chan struct{})}
+	if len(s.queues[name]) == 0 {
+		s.ring = append(s.ring, name)
+	}
+	s.queues[name] = append(s.queues[name], w)
+	s.pump()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return func() { s.release(name) }, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation and won; hand the slot back.
+			s.total--
+			s.inflight[name]--
+			s.pump()
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		w.abandoned = true
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a slot and re-runs the grant pump.
+func (s *Scheduler) release(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[name] > 0 {
+		s.inflight[name]--
+	}
+	if s.capacity <= 0 {
+		return
+	}
+	if s.total > 0 {
+		s.total--
+	}
+	s.pump()
+}
+
+// pump hands out free slots: scan the ring starting after the last grant,
+// skip tenants at their share bound, grant the head waiter of the first
+// eligible tenant, repeat until no slot or no eligible waiter remains.
+// Caller holds s.mu.
+func (s *Scheduler) pump() {
+	for s.total < s.capacity {
+		s.shed()
+		if len(s.ring) == 0 {
+			return
+		}
+		granted := false
+		n := len(s.ring)
+		for scanned := 0; scanned < n; scanned++ {
+			idx := (s.next + scanned) % n
+			name := s.ring[idx]
+			if s.inflight[name] >= s.share(name) {
+				continue
+			}
+			w := s.queues[name][0]
+			s.queues[name] = s.queues[name][1:]
+			w.granted = true
+			s.total++
+			s.inflight[name]++
+			close(w.ch)
+			s.next = (idx + 1) % n
+			granted = true
+			break
+		}
+		if !granted {
+			return
+		}
+	}
+}
+
+// shed drops abandoned waiters from queue heads and removes tenants with
+// nothing queued from the ring, rotating it so the scan position is
+// preserved (the tenant after the last grant scans first). Caller holds
+// s.mu.
+func (s *Scheduler) shed() {
+	if len(s.ring) == 0 {
+		return
+	}
+	if s.next >= len(s.ring) {
+		s.next = 0
+	}
+	rotated := append(append([]string(nil), s.ring[s.next:]...), s.ring[:s.next]...)
+	kept := rotated[:0]
+	for _, name := range rotated {
+		q := s.queues[name]
+		for len(q) > 0 && q[0].abandoned {
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(s.queues, name)
+			continue
+		}
+		s.queues[name] = q
+		kept = append(kept, name)
+	}
+	s.ring = kept
+	s.next = 0
+}

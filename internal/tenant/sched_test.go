@@ -1,0 +1,295 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// grab acquires synchronously and fails the test on error.
+func grab(t *testing.T, s *Scheduler, name string) func() {
+	t.Helper()
+	release, err := s.Acquire(context.Background(), name)
+	if err != nil {
+		t.Fatalf("Acquire(%s): %v", name, err)
+	}
+	return release
+}
+
+// enqueue starts an Acquire that is expected to block, returning a channel
+// that yields the release function once granted.
+func enqueue(s *Scheduler, name string) <-chan func() {
+	ch := make(chan func(), 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		release, err := s.Acquire(context.Background(), name)
+		if err == nil {
+			ch <- release
+		}
+	}()
+	<-ready
+	// Wait for the waiter to be visibly queued (or granted) so test
+	// ordering is deterministic.
+	for i := 0; i < 1000; i++ {
+		if s.Queued(name) > 0 || len(ch) > 0 || s.InFlight(name) > 0 {
+			return ch
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return ch
+}
+
+func granted(t *testing.T, ch <-chan func()) func() {
+	t.Helper()
+	select {
+	case release := <-ch:
+		return release
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not granted within 5s")
+		return nil
+	}
+}
+
+func notGranted(t *testing.T, ch <-chan func()) {
+	t.Helper()
+	select {
+	case <-ch:
+		t.Fatal("waiter granted, want queued")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func regWith(t *testing.T, configs ...Config) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, c := range configs {
+		if _, err := r.Register(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestSchedulerAloneGetsWholePool: with no competing demand a tenant may
+// hold every slot — the share bound only bites under contention.
+func TestSchedulerAloneGetsWholePool(t *testing.T) {
+	s := NewScheduler(4, regWith(t, Config{Name: "a"}))
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		releases = append(releases, grab(t, s, "a"))
+	}
+	if got := s.InFlight("a"); got != 4 {
+		t.Fatalf("inflight = %d, want 4", got)
+	}
+	ch := enqueue(s, "a")
+	notGranted(t, ch)
+	releases[0]()
+	release := granted(t, ch)
+	release()
+	for _, r := range releases[1:] {
+		r()
+	}
+	if got := s.InFlight("a"); got != 0 {
+		t.Fatalf("inflight after releases = %d", got)
+	}
+}
+
+// TestSchedulerBoundedWait pins the headline guarantee: a greedy tenant
+// holding the whole pool cannot make a newcomer wait more than one
+// release — the moment the newcomer queues, the greedy tenant's share
+// contracts and the next free slot is the newcomer's.
+func TestSchedulerBoundedWait(t *testing.T) {
+	s := NewScheduler(2, regWith(t, Config{Name: "greedy"}, Config{Name: "small"}))
+	r1 := grab(t, s, "greedy")
+	r2 := grab(t, s, "greedy")
+	// Greedy queues 10 more runs; small queues one, last in line.
+	var greedyQ []<-chan func()
+	for i := 0; i < 10; i++ {
+		greedyQ = append(greedyQ, enqueue(s, "greedy"))
+	}
+	smallQ := enqueue(s, "small")
+	notGranted(t, smallQ)
+
+	// One release: the freed slot must go to small (share(greedy) is now
+	// 1 while it holds 1), not to any of greedy's 10 earlier waiters.
+	r1()
+	release := granted(t, smallQ)
+	for _, q := range greedyQ {
+		notGranted(t, q)
+	}
+	if got := s.InFlight("small"); got != 1 {
+		t.Fatalf("small inflight = %d, want 1", got)
+	}
+	// Small leaves, greedy has the pool to itself again and drains FIFO.
+	release()
+	g1 := granted(t, greedyQ[0])
+	r2()
+	g2 := granted(t, greedyQ[1])
+	g1()
+	g2()
+	for _, q := range greedyQ[2:] {
+		granted(t, q)()
+	}
+}
+
+// TestSchedulerRoundRobin: freed slots rotate across queueing tenants
+// instead of draining one tenant's backlog first.
+func TestSchedulerRoundRobin(t *testing.T) {
+	s := NewScheduler(1, regWith(t, Config{Name: "a"}, Config{Name: "b"}))
+	hold := grab(t, s, "a")
+	a1 := enqueue(s, "a")
+	a2 := enqueue(s, "a")
+	b1 := enqueue(s, "b")
+
+	// Release the held slot: with both tenants queued the rotation serves
+	// a (next after the initial inline grant), then b, then a again.
+	hold()
+	ra1 := granted(t, a1)
+	notGranted(t, b1)
+	ra1()
+	rb1 := granted(t, b1)
+	notGranted(t, a2)
+	rb1()
+	granted(t, a2)()
+}
+
+// TestSchedulerWeightedShares: a weight-2 tenant stabilizes at twice the
+// slots of a weight-1 tenant under saturation.
+func TestSchedulerWeightedShares(t *testing.T) {
+	s := NewScheduler(3, regWith(t, Config{Name: "big", Weight: 2}, Config{Name: "small", Weight: 1}))
+	// Saturate both queues well beyond capacity.
+	var bigQ, smallQ []<-chan func()
+	for i := 0; i < 6; i++ {
+		bigQ = append(bigQ, enqueue(s, "big"))
+		smallQ = append(smallQ, enqueue(s, "small"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.InFlight("big") == 2 && s.InFlight("small") == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if b, sm := s.InFlight("big"), s.InFlight("small"); b != 2 || sm != 1 {
+		t.Fatalf("steady-state slots big=%d small=%d, want 2/1", b, sm)
+	}
+	// Drain everything so goroutines exit.
+	var mu sync.Mutex
+	var rel []func()
+	collect := func(chans []<-chan func()) {
+		for _, ch := range chans {
+			go func(ch <-chan func()) {
+				r := granted(t, ch)
+				mu.Lock()
+				rel = append(rel, r)
+				mu.Unlock()
+				r()
+			}(ch)
+		}
+	}
+	collect(bigQ)
+	collect(smallQ)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(rel)
+		mu.Unlock()
+		if n == 12 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("queued runs did not all complete")
+}
+
+// TestSchedulerCancelledWaiter: a cancelled Acquire leaves the queue and
+// its would-be slot flows to the next waiter; a cancellation racing a
+// grant returns the slot.
+func TestSchedulerCancelledWaiter(t *testing.T) {
+	s := NewScheduler(1, regWith(t, Config{Name: "a"}, Config{Name: "b"}))
+	hold := grab(t, s, "a")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "a")
+		errCh <- err
+	}()
+	for i := 0; i < 1000 && s.Queued("a") == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	b1 := enqueue(s, "b")
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled Acquire: err = %v", err)
+	}
+	hold()
+	// The abandoned waiter must not absorb the slot: b gets it.
+	granted(t, b1)()
+	if got := s.InFlight("a"); got != 0 {
+		t.Fatalf("a inflight = %d after cancellation", got)
+	}
+}
+
+// TestSchedulerUnlimited: capacity <= 0 never blocks and still counts.
+func TestSchedulerUnlimited(t *testing.T) {
+	s := NewScheduler(0, NewRegistry())
+	var releases []func()
+	for i := 0; i < 50; i++ {
+		releases = append(releases, grab(t, s, Default))
+	}
+	if got := s.InFlight(Default); got != 50 {
+		t.Fatalf("inflight = %d, want 50", got)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if got := s.InFlight(Default); got != 0 {
+		t.Fatalf("inflight after release = %d", got)
+	}
+}
+
+// TestSchedulerStress hammers Acquire/release from many goroutines across
+// tenants with random cancellations; run under -race this is the
+// scheduler's data-race suite. Invariant at the end: no slots leak.
+func TestSchedulerStress(t *testing.T) {
+	reg := regWith(t, Config{Name: "a", Weight: 2}, Config{Name: "b"}, Config{Name: "c"})
+	s := NewScheduler(4, reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			names := []string{"a", "b", "c", Default}
+			for i := 0; i < 50; i++ {
+				name := names[(g+i)%len(names)]
+				ctx, cancel := context.WithCancel(context.Background())
+				if (g+i)%7 == 0 {
+					cancel() // racing cancellation
+				}
+				release, err := s.Acquire(ctx, name)
+				if err == nil {
+					release()
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, name := range []string{"a", "b", "c", Default} {
+		if got := s.InFlight(name); got != 0 {
+			t.Fatalf("tenant %s leaked %d slots", name, got)
+		}
+		if got := s.Queued(name); got != 0 {
+			t.Fatalf("tenant %s left %d waiters queued", name, got)
+		}
+	}
+	s.mu.Lock()
+	total := s.total
+	s.mu.Unlock()
+	if total != 0 {
+		t.Fatalf("scheduler leaked %d total slots", total)
+	}
+}

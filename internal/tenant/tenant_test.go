@@ -1,0 +1,184 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidName(t *testing.T) {
+	for _, name := range []string{"default", "acme", "a", "team-1", "a.b_c-9"} {
+		if !ValidName(name) {
+			t.Errorf("ValidName(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"", "Acme", "shard-00", "shard-x", "..", "a/b", "-lead", ".lead", "räksmörgås"} {
+		if ValidName(name) {
+			t.Errorf("ValidName(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestRegistryDefaultIsOpenAndUnlimited(t *testing.T) {
+	r := NewRegistry()
+	d := r.Get(Default)
+	if d == nil || !d.Open() || d.Weight() != 1 {
+		t.Fatalf("default tenant = %+v", d)
+	}
+	if _, err := r.Authenticate(Default, ""); err != nil {
+		t.Fatalf("open default refused an unauthenticated request: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := d.AcquireJob(); err != nil {
+			t.Fatalf("unlimited default refused job %d: %v", i, err)
+		}
+	}
+}
+
+func TestRegistryAuthenticate(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(Config{Name: "acme", Token: "s3cret"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Authenticate("nope", ""); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: err = %v", err)
+	}
+	if _, err := r.Authenticate("acme", ""); !errors.Is(err, ErrNoToken) {
+		t.Fatalf("missing token: err = %v", err)
+	}
+	if _, err := r.Authenticate("acme", "wrong"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("wrong token: err = %v", err)
+	}
+	tn, err := r.Authenticate("acme", "s3cret")
+	if err != nil || tn.Name() != "acme" {
+		t.Fatalf("right token: tenant %v, err = %v", tn, err)
+	}
+}
+
+func TestRegistryUpsertPreservesUsage(t *testing.T) {
+	r := NewRegistry()
+	tn, err := r.Register(Config{Name: "acme", Quotas: Quotas{MaxJobs: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.AcquireJob(); err != nil {
+		t.Fatal(err)
+	}
+	tn.AddNodes(500)
+	tn2, err := r.Register(Config{Name: "acme", Token: "t", Weight: 3, Quotas: Quotas{MaxJobs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn2 != tn {
+		t.Fatal("upsert replaced the tenant object; usage counters lost")
+	}
+	jobs, nodes := tn.Usage()
+	if jobs != 1 || nodes != 500 {
+		t.Fatalf("usage after upsert = %d jobs / %d nodes, want 1/500", jobs, nodes)
+	}
+	if tn.Weight() != 3 || tn.Open() {
+		t.Fatalf("upsert did not apply weight/token: weight=%d open=%v", tn.Weight(), tn.Open())
+	}
+	// MaxJobs shrank below usage: no new admissions until a release.
+	if err := tn.AcquireJob(); err == nil {
+		t.Fatal("admission above the shrunk quota succeeded")
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	r := NewRegistry()
+	tn, err := r.Register(Config{Name: "acme", Quotas: Quotas{MaxJobs: 2, MaxNodes: 1000, MaxCheckpointBytes: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs.
+	if err := tn.AcquireJob(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.AcquireJob(); err != nil {
+		t.Fatal(err)
+	}
+	err = tn.AcquireJob()
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Resource != "jobs" {
+		t.Fatalf("third job: err = %v", err)
+	}
+	tn.ReleaseJob()
+	if err := tn.AcquireJob(); err != nil {
+		t.Fatalf("job after release: %v", err)
+	}
+	// Nodes.
+	if err := tn.ReserveNodes(800); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.ReserveNodes(300); !errors.As(err, &qe) || qe.Resource != "nodes" {
+		t.Fatalf("over-quota nodes: err = %v", err)
+	}
+	if err := tn.ReserveNodes(200); err != nil {
+		t.Fatalf("nodes exactly at quota: %v", err)
+	}
+	tn.ReleaseNodes(1000)
+	if _, nodes := tn.Usage(); nodes != 0 {
+		t.Fatalf("nodes after release = %d", nodes)
+	}
+	// Checkpoint bytes (admission check against store-provided usage).
+	if err := tn.CheckBytes(4095); err != nil {
+		t.Fatalf("bytes under quota: %v", err)
+	}
+	if err := tn.CheckBytes(4096); !errors.As(err, &qe) || qe.Resource != "checkpointBytes" {
+		t.Fatalf("bytes at quota: err = %v", err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	t.Setenv("TENANT_TEST_TOKEN", "from-env")
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	cfg := `{"tenants": [
+		{"name": "acme", "tokenEnv": "TENANT_TEST_TOKEN", "weight": 2, "maxJobs": 4},
+		{"name": "beta", "token": "inline", "maxNodes": 100000},
+		{"name": "default", "maxCheckpointBytes": 1048576}
+	]}`
+	if err := os.WriteFile(path, []byte(cfg), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := r.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Authenticate("acme", "from-env"); err != nil {
+		t.Fatalf("env token not applied: %v", err)
+	}
+	if got := r.Get("acme").Weight(); got != 2 {
+		t.Fatalf("acme weight = %d", got)
+	}
+	if q := r.Get("beta").Quotas(); q.MaxNodes != 100000 {
+		t.Fatalf("beta quotas = %+v", q)
+	}
+	if q := r.Get(Default).Quotas(); q.MaxCheckpointBytes != 1048576 {
+		t.Fatalf("default quotas = %+v", q)
+	}
+
+	// A missing env var fails the whole load.
+	bad := `{"tenants": [{"name": "x", "tokenEnv": "TENANT_TEST_UNSET_VAR"}]}`
+	if err := os.WriteFile(path, []byte(bad), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRegistry().LoadFile(path); err == nil {
+		t.Fatal("unset tokenEnv did not fail the load")
+	}
+	// So does an unknown field (typo protection) and a duplicate name.
+	for _, bad := range []string{
+		`{"tenants": [{"name": "x", "tokens": "typo"}]}`,
+		`{"tenants": [{"name": "x"}, {"name": "x"}]}`,
+		`{"tenants": [{"name": "Shard-00"}]}`,
+		`{"tenants": [{"name": "x", "token": "a", "tokenEnv": "TENANT_TEST_TOKEN"}]}`,
+	} {
+		if err := os.WriteFile(path, []byte(bad), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewRegistry().LoadFile(path); err == nil {
+			t.Fatalf("config %s loaded without error", bad)
+		}
+	}
+}
