@@ -1,0 +1,137 @@
+// Command lint runs the repo's invariant analyzer suite (internal/analysis)
+// over the module: determinism in the bit-identity-critical packages,
+// codec canonicality, atomic durable writes, panic-free decoding, context
+// propagation, and secret hygiene. CI gates on it next to go vet and
+// staticcheck.
+//
+// Usage:
+//
+//	lint [-json] [packages]
+//
+// Packages are module-relative patterns: ./... (the default) sweeps the
+// whole module, ./internal/... a subtree, ./cmd/serve a single package.
+// Findings print one per line as
+//
+//	file:line: [analyzer] message
+//
+// and the exit status is 1 when any finding survives suppression, 2 on a
+// load or usage error, 0 on a clean tree. Intentional exceptions are
+// suppressed inline with "//lint:allow <analyzer> <reason>" (reason
+// mandatory; unused or malformed directives are themselves findings).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/sociograph/reconcile/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lint [-json] [packages]\n\npackages default to ./... (the whole module)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+	patterns, err := relPatterns(root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	findings, err := analysis.Lint(analysis.LoadConfig{Dir: root}, analysis.DefaultPolicy(), patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relPatterns turns ./-style CLI patterns into module-relative ones.
+func relPatterns(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return nil, nil // everything
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, arg := range args {
+		pat := arg
+		suffix := ""
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, suffix = rest, "/..."
+		}
+		if pat == "." && suffix == "/..." && cwd == root {
+			return nil, nil // ./... at the root selects everything
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, pat))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("pattern %q is outside the module at %s", arg, root)
+		}
+		out = append(out, filepath.ToSlash(rel)+suffix)
+	}
+	return out, nil
+}

@@ -1131,6 +1131,15 @@ func (s *server) cancelRunning() []*job {
 		}
 	}
 	s.mu.Unlock()
+	// Cancel (and later drain) in a stable order: map iteration would make
+	// the shutdown sequence — cancellation, final checkpoints, drain log —
+	// differ run to run for no reason.
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].tname != jobs[b].tname {
+			return jobs[a].tname < jobs[b].tname
+		}
+		return jobs[a].num < jobs[b].num
+	})
 	for _, j := range jobs {
 		j.mu.Lock()
 		if j.status == statusRunning && j.cancel != nil {

@@ -144,6 +144,7 @@ func (st *store) migrateLegacy() error {
 // or a shard dir that already exists under default/).
 func moveMerge(src, dst string) error {
 	if _, err := os.Stat(dst); os.IsNotExist(err) {
+		//lint:allow atomic-write migration renames already-durable files within one filesystem; there is no torn-write window and migrateLegacy fsyncs the affected directories afterwards
 		return os.Rename(src, dst)
 	}
 	fi, err := os.Stat(src)
@@ -151,7 +152,9 @@ func moveMerge(src, dst string) error {
 		return err
 	}
 	if !fi.IsDir() {
-		return os.Rename(src, dst) // overwrite a half-moved file
+		// Overwrite a half-moved file.
+		//lint:allow atomic-write migration re-run after a crash: both names hold the same already-durable bytes, so either outcome of the rename is consistent
+		return os.Rename(src, dst)
 	}
 	entries, err := os.ReadDir(src)
 	if err != nil {

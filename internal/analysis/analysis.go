@@ -1,0 +1,131 @@
+// Package analysis is the repo's custom invariant linter: a suite of
+// static analyzers that machine-check the properties every headline
+// guarantee rests on — deterministic execution in the bit-identity-critical
+// packages, one audited canonical byte path in the snapshot codec,
+// crash-safe atomic writes in the serve store, panic-free defensive
+// decoding, context propagation through blocking APIs, and constant-time
+// secret handling.
+//
+// The suite is built on the stdlib toolchain only (go/parser, go/types,
+// go/importer), preserving the module's zero-dependency property. Analyzers
+// are pure functions over a type-checked package; which analyzers run where
+// is a data question answered by a Policy table, so tests can point the same
+// analyzers at golden fixtures with a fixture-local policy.
+//
+// Findings print as "file:line: [analyzer] message". An intentional
+// exception is suppressed inline with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line above; the reason is mandatory, and a
+// directive that suppresses nothing is itself a finding, so stale escape
+// hatches cannot accumulate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the canonical "file:line: [analyzer]
+// message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) invocation state handed to
+// Analyzer.Run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// RelDir is the package directory relative to the module root ("." for
+	// the root package) — the key the policy table uses.
+	RelDir string
+	// Options carries the policy rule's per-package analyzer configuration.
+	Options map[string]string
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Option returns a policy option with a default.
+func (p *Pass) Option(key, def string) string {
+	if v, ok := p.Options[key]; ok {
+		return v
+	}
+	return def
+}
+
+// All returns the full analyzer suite, keyed by name.
+func All() map[string]*Analyzer {
+	suite := []*Analyzer{
+		DeterminismAnalyzer,
+		CodecAnalyzer,
+		AtomicWriteAnalyzer,
+		DecodeAnalyzer,
+		CtxAnalyzer,
+		SecretAnalyzer,
+	}
+	out := make(map[string]*Analyzer, len(suite))
+	for _, a := range suite {
+		out[a.Name] = a
+	}
+	return out
+}
+
+// sortFindings orders findings by file, line, column, then analyzer, so
+// output is stable across runs.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"slices"
+)
+
+// AtomicWriteAnalyzer guards the store's crash-safety contract: every
+// durable byte is written via a temp file in the destination directory,
+// fsynced, renamed into place, and the directory fsynced — so a crash at
+// any instant leaves either the complete old file or the complete new one.
+// Two rules enforce it:
+//
+//   - os.WriteFile, os.Create, and os.Rename are forbidden outside the
+//     blessed writer functions (option "funcs", default "atomicWrite"):
+//     each is a way to produce a torn or non-durable file on crash;
+//   - any function that builds the temp-file-then-rename shape itself
+//     (os.CreateTemp + os.Rename) must contain both halves of the fsync
+//     pair: a file Sync before the rename, and the directory sync helper
+//     (option "dirsync", default "syncDir") after it.
+var AtomicWriteAnalyzer = &Analyzer{
+	Name: "atomic-write",
+	Doc:  "data-dir writes go through the atomic temp+fsync+rename+dirsync path",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(p *Pass) {
+	allowed := splitList(p.Option("funcs", "atomicWrite"))
+	dirsync := p.Option("dirsync", "syncDir")
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inAllowed := slices.Contains(allowed, funcName(fd))
+			var hasCreateTemp, hasRename, hasFileSync, hasDirSync bool
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(p.Info, call)
+				if callee == nil {
+					return true
+				}
+				switch {
+				case isPkgFunc(callee, "os", "WriteFile") && !inAllowed:
+					p.Reportf(call.Pos(), "os.WriteFile bypasses the atomic write path: a crash mid-write leaves a torn file — use %s", allowed[0])
+				case isPkgFunc(callee, "os", "Create") && !inAllowed:
+					p.Reportf(call.Pos(), "os.Create truncates in place: readers and crash recovery can observe a partial file — use %s", allowed[0])
+				case isPkgFunc(callee, "os", "Rename"):
+					hasRename = true
+					if !inAllowed {
+						p.Reportf(call.Pos(), "os.Rename outside %s: renames are atomic but not durable without the fsync pair around them", allowed[0])
+					}
+				case isPkgFunc(callee, "os", "CreateTemp"):
+					hasCreateTemp = true
+				case callee.Name() == dirsync && callee.Pkg() != nil && callee.Pkg().Path() == p.Pkg.Path():
+					hasDirSync = true
+				case callee.Name() == "Sync":
+					if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+						hasFileSync = true
+					}
+				}
+				return true
+			})
+			if hasCreateTemp && hasRename {
+				if !hasFileSync {
+					p.Reportf(fd.Pos(), "%s builds a temp-then-rename write without fsyncing the file first: the rename can become durable before the data", funcName(fd))
+				}
+				if !hasDirSync {
+					p.Reportf(fd.Pos(), "%s renames a temp file into place without %s: the rename itself can be lost on power failure", funcName(fd), dirsync)
+				}
+			}
+		}
+	}
+}

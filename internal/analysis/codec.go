@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CodecAnalyzer keeps the snapshot and graph codecs canonical: one byte
+// stream per value, every byte through the packages' own audited
+// little-endian append/read helpers. It forbids the encoders that break
+// that property:
+//
+//   - encoding/gob and encoding/json: self-describing, version- and
+//     field-order-dependent, never byte-canonical;
+//   - binary.BigEndian: the wire format is little-endian; a single
+//     big-endian write forks the format;
+//   - binary.Write/binary.Read: reflection-driven, struct-layout-coupled,
+//     and they bypass the CRC-summed writer/reader the framing depends on.
+var CodecAnalyzer = &Analyzer{
+	Name: "canonical-codec",
+	Doc:  "require the codec packages' canonical little-endian helpers; forbid gob/json/binary.Write and big-endian byte order",
+	Run:  runCodec,
+}
+
+func runCodec(p *Pass) {
+	for _, f := range p.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path == "encoding/gob" || path == "encoding/json" {
+				p.Reportf(spec.Pos(), "import of %s in a codec package: encodings must stay canonical — use the package's little-endian helpers", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if usesPkgObject(p.Info, sel, "encoding/binary", "BigEndian") {
+				p.Reportf(sel.Pos(), "binary.BigEndian: the snapshot wire format is canonical little-endian; a mixed byte order forks the format")
+			}
+			for _, fn := range []string{"Write", "Read"} {
+				if usesPkgObject(p.Info, sel, "encoding/binary", fn) {
+					p.Reportf(sel.Pos(), "binary.%s is reflection-driven and bypasses the audited CRC-framed helpers; encode fields explicitly", fn)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxAnalyzer keeps library blocking paths cancellable — the property the
+// serve layer's drain, deadline, and DELETE semantics are built on. Three
+// rules, applied in non-main, non-test packages:
+//
+//   - no context.Background() (or context.TODO()): a library that mints
+//     its own root context detaches the work from every caller deadline
+//     and from graceful shutdown;
+//   - a context.Context parameter must actually be threaded: an accepted
+//     ctx that the body never reads is cancellation theater;
+//   - an exported API that visibly blocks (channel receive, select, or a
+//     .Wait call) must accept a context.Context so callers can bound it.
+var CtxAnalyzer = &Analyzer{
+	Name: "ctx-propagation",
+	Doc:  "exported blocking APIs accept and thread context.Context; no context.Background() in library code",
+	Run:  runCtx,
+}
+
+func runCtx(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range []string{"Background", "TODO"} {
+				if usesPkgObject(p.Info, sel, "context", fn) {
+					p.Reportf(sel.Pos(), "context.%s in library code: accept a caller context so deadlines and shutdown propagate", fn)
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFunc(p, fd)
+		}
+	}
+}
+
+func checkCtxFunc(p *Pass, fd *ast.FuncDecl) {
+	var ctxParams []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		t := p.Info.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				ctxParams = append(ctxParams, name)
+			}
+		}
+	}
+
+	for _, name := range ctxParams {
+		obj := p.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			p.Reportf(name.Pos(), "%s accepts %s but never threads it: pass it to the blocking work or check ctx.Err()", funcName(fd), name.Name)
+		}
+	}
+
+	// Exported visible blocking without a ctx parameter.
+	if !fd.Name.IsExported() || len(ctxParams) > 0 || hasVariadicCtxRecv(p, fd) {
+		return
+	}
+	var blockPos ast.Node
+	var how string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if blockPos != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // goroutine bodies block on their own schedule
+		case *ast.UnaryExpr:
+			if n.OpPos.IsValid() && n.Op.String() == "<-" {
+				blockPos, how = n, "receives from a channel"
+			}
+		case *ast.SelectStmt:
+			blockPos, how = n, "selects on channels"
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if f, ok := p.Info.Uses[sel.Sel].(*types.Func); ok {
+					if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+						blockPos, how = n, "calls "+sel.Sel.Name
+					}
+				}
+			}
+		}
+		return blockPos == nil
+	})
+	if blockPos != nil {
+		p.Reportf(fd.Pos(), "exported %s %s but has no context.Context parameter: callers cannot bound or cancel it", funcName(fd), how)
+	}
+}
+
+// hasVariadicCtxRecv exempts methods whose receiver type itself carries a
+// context-bearing design (a stored ctx field named ctx) — rare, but a
+// legitimate pattern for option structs.
+func hasVariadicCtxRecv(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := p.Info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "ctx" && isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

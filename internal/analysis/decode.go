@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// DecodeAnalyzer hardens the decode and replay paths — the functions that
+// consume wire bytes an attacker (or a corrupt disk) controls. In functions
+// matching the decode-path name shape (Read*/Decode*/Apply*/Restore*,
+// exported or not; option "names" overrides the regexp) it forbids:
+//
+//   - panic: corrupt input must surface as an error, never a crash — the
+//     store's recovery loop walks chains of possibly-torn records and
+//     survives only because decoders return errors;
+//   - single-value type assertions: x.(T) panics on the wrong dynamic
+//     type; the comma-ok form is required;
+//   - allocations sized by a wire-controlled integer nothing has bounded: a
+//     forged length must fail at a truncated read, not pre-allocate
+//     gigabytes. An integer read through a reader (any value whose type has
+//     Read/ReadByte) is tainted until it is compared against a bound or
+//     consumed by a bounded read helper (a call that also takes the
+//     reader); make() sized by a still-tainted value is flagged.
+var DecodeAnalyzer = &Analyzer{
+	Name: "no-panic-decode",
+	Doc:  "decode/replay paths return errors — no panics, no unchecked assertions, no unbounded wire-sized allocations",
+	Run:  runDecode,
+}
+
+const defaultDecodeNames = `^(Read|read|Decode|decode|Apply|apply|Restore|restore|Unmarshal|unmarshal)`
+
+func runDecode(p *Pass) {
+	nameRe, err := regexp.Compile(p.Option("names", defaultDecodeNames))
+	if err != nil {
+		p.Reportf(p.Files[0].Pos(), "bad \"names\" option: %v", err)
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !nameRe.MatchString(funcName(fd)) {
+				continue
+			}
+			checkDecodeFunc(p, fd)
+		}
+	}
+}
+
+func checkDecodeFunc(p *Pass, fd *ast.FuncDecl) {
+	okForm := commaOkAsserts(fd.Body)
+	tainted := map[types.Object]bool{}
+
+	// exprReadsWire reports whether the expression contains a call that
+	// touches a reader — the source of wire-controlled values.
+	exprReadsWire := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					if v, ok := obj.(*types.Var); ok && hasReadMethod(v.Type()) {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	exprTaintedVar := func(e ast.Expr) types.Object {
+		var hit types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && tainted[obj] {
+					hit = obj
+				}
+			}
+			return hit == nil
+		})
+		return hit
+	}
+	untaintIn := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					delete(tainted, obj)
+				}
+			}
+			return true
+		})
+	}
+
+	// Pre-order traversal approximates execution order well enough for the
+	// straight-line read-check-allocate shape decoders have.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			wire := false
+			taintedRHS := false
+			for _, rhs := range n.Rhs {
+				if exprReadsWire(rhs) {
+					wire = true
+				}
+				if exprTaintedVar(rhs) != nil {
+					taintedRHS = true
+				}
+			}
+			for _, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if _, isErr := obj.Type().(*types.Named); isErr && obj.Type().String() == "error" {
+					continue
+				}
+				if wire || taintedRHS {
+					tainted[obj] = true
+				} else {
+					delete(tainted, obj)
+				}
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				// A comparison is the bound check the rule wants: the
+				// author looked at the value. Clear both sides.
+				untaintIn(n.X)
+				untaintIn(n.Y)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "panic":
+						p.Reportf(n.Pos(), "panic in decode path %s: corrupt input must return an error, not crash the process", funcName(fd))
+					case "make":
+						for _, arg := range n.Args[1:] {
+							if obj := exprTaintedVar(arg); obj != nil {
+								p.Reportf(n.Pos(), "allocation sized by wire-controlled %q with no bound check: a forged length must fail at a truncated read, not pre-allocate", obj.Name())
+							}
+						}
+					}
+					return true
+				}
+			}
+			// A call that takes the reader alongside a tainted value is a
+			// bounded-read helper: by the time it returns, the payload
+			// bytes for that count actually arrived (or it errored).
+			involvesReader := false
+			for _, arg := range n.Args {
+				if exprReadsWire(arg) {
+					involvesReader = true
+				}
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && exprReadsWire(sel.X) {
+				involvesReader = true
+			}
+			if involvesReader {
+				for _, arg := range n.Args {
+					untaintIn(arg)
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if n.Type != nil && !okForm[n] {
+				p.Reportf(n.Pos(), "unchecked type assertion in decode path %s: use the comma-ok form — the wrong dynamic type must not panic", funcName(fd))
+			}
+		}
+		return true
+	})
+}
+
+// commaOkAsserts collects the type assertions appearing in two-value
+// (comma-ok) assignment forms, which cannot panic.
+func commaOkAsserts(body *ast.BlockStmt) map[*ast.TypeAssertExpr]bool {
+	ok := map[*ast.TypeAssertExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+				if ta, is := ast.Unparen(n.Rhs[0]).(*ast.TypeAssertExpr); is {
+					ok[ta] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == 2 && len(n.Values) == 1 {
+				if ta, is := ast.Unparen(n.Values[0]).(*ast.TypeAssertExpr); is {
+					ok[ta] = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterminismAnalyzer pins the property every engine-equivalence and
+// resume-equivalence suite assumes: code in the bit-identity-critical
+// packages computes the same bytes on every run. It forbids the three ways
+// nondeterminism actually sneaks in:
+//
+//   - wall-clock reads (time.Now, time.Since): timestamps in state or
+//     time-dependent branches diverge across runs;
+//   - math/rand outside internal/xrand: the repo's only sanctioned
+//     randomness is the seeded, versioned generator, so results are
+//     reproducible from a seed;
+//   - iterating a map while writing state visible outside the loop: Go
+//     randomizes map order, so any order-sensitive effect (appending to a
+//     slice or encoded buffer, overwriting a scalar, calling a writer)
+//     diverges between runs. Three shapes are order-insensitive and stay
+//     allowed: writes keyed into another map, commutative integer updates
+//     (x++, x += n, and the other ring operations — every iteration order
+//     produces the same total), and the collect-then-sort idiom (the
+//     loop's target is later passed to sort/slices).
+//
+// The option "checks" restricts the rule set per package ("time", "rand",
+// "maprange", comma-separated; default all three) — cmd/serve, for
+// example, needs deterministic restore and drain order but will
+// legitimately read the clock for metrics.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, unseeded randomness, and map-iteration-ordered writes in bit-identity-critical packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	checks := map[string]bool{}
+	for _, c := range splitList(p.Option("checks", "time,rand,maprange")) {
+		checks[c] = true
+	}
+	for _, f := range p.Files {
+		if checks["rand"] {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(spec.Pos(), "import of %s: bit-identity-critical packages draw randomness only through internal/xrand (seeded, versioned)", path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if !checks["time"] {
+					return true
+				}
+				for _, fn := range []string{"Now", "Since"} {
+					if usesPkgObject(p.Info, n, "time", fn) {
+						p.Reportf(n.Pos(), "time.%s in a bit-identity-critical package: wall-clock reads break run-for-run determinism", fn)
+					}
+				}
+			case *ast.RangeStmt:
+				if checks["maprange"] {
+					checkMapRange(p, f, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags order-sensitive writes inside a range over a map.
+func checkMapRange(p *Pass, file *ast.File, rs *ast.RangeStmt) {
+	t := p.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	report := func(pos ast.Node, what string) {
+		p.Reportf(pos.Pos(), "map iteration %s: map order is randomized, so the result depends on it — iterate a sorted key slice instead", what)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if commutativeOp(n.Tok) && len(n.Lhs) == 1 && isIntegerExpr(p.Info, n.Lhs[0]) {
+				return true // n += k over ints: every iteration order sums the same
+			}
+			for _, lhs := range n.Lhs {
+				checkOrderedWrite(p, file, rs, lhs, report)
+			}
+		case *ast.IncDecStmt:
+			if isIntegerExpr(p.Info, n.X) {
+				return true
+			}
+			checkOrderedWrite(p, file, rs, n.X, report)
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !mutatorName(sel.Sel.Name) {
+				return true
+			}
+			recv := baseIdent(sel.X)
+			if recv == nil || declaredWithin(p.Info, recv, rs) {
+				return true
+			}
+			// Method call on a receiver from outside the loop with a
+			// mutating name: each iteration's effect lands in map order.
+			report(n, "calls "+recv.Name+"."+sel.Sel.Name+" on state declared outside the loop")
+		}
+		return true
+	})
+}
+
+// checkOrderedWrite reports an assignment target declared outside the map
+// range, unless the write itself is order-insensitive (a map index) or the
+// target is visibly sorted after the loop.
+func checkOrderedWrite(p *Pass, file *ast.File, rs *ast.RangeStmt, lhs ast.Expr, report func(ast.Node, string)) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	// m2[k] = v: writes keyed into another map commute across iteration
+	// orders (last-write-wins only matters for duplicate keys, which one
+	// map iteration cannot produce).
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if xt := p.Info.TypeOf(ix.X); xt != nil {
+			if _, isMap := xt.Underlying().(*types.Map); isMap {
+				return
+			}
+		}
+	}
+	base := baseIdent(lhs)
+	if base == nil || declaredWithin(p.Info, base, rs) {
+		return
+	}
+	obj := p.Info.Uses[base]
+	if obj == nil {
+		obj = p.Info.Defs[base]
+	}
+	if obj == nil {
+		return
+	}
+	if sortedAfter(p, file, rs, obj) {
+		return
+	}
+	report(lhs, "writes to "+base.Name+" declared outside the loop")
+}
+
+// sortedAfter recognizes the collect-then-sort idiom: the written variable
+// is passed to a sort or slices call after the loop, which erases the
+// iteration order before anything observes it.
+func sortedAfter(p *Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if pkg := f.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(p.Info, arg, obj) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// commutativeOp reports whether the compound assignment operator commutes
+// across iteration orders when applied to integers: addition, subtraction
+// (a sequence of subtractions from the same accumulator commutes), and the
+// bitwise ring operations. Shifts, division, and float/string forms of
+// these do not qualify.
+func commutativeOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isIntegerExpr reports whether the expression has an integer type.
+func isIntegerExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// mutatorName matches method names whose call plausibly appends to or
+// mutates external state — the write/append/encode family.
+func mutatorName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"write", "append", "add", "push", "set", "encode", "put", "insert", "record"} {
+		if strings.HasPrefix(lower, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden fixtures live one mini-module per analyzer under testdata/.
+// Expected findings are marked in the fixture source with trailing
+//
+//	// want "substring" ["substring" ...]
+//
+// comments: every want must be matched by a finding on that line whose
+// message contains the substring, and every finding must be claimed by a
+// want. Clean fixtures are the negative half of the same contract — any
+// finding in them fails the test as unexpected.
+
+var (
+	wantLineRe = regexp.MustCompile(`//\s*want\s+(".*)$`)
+	wantArgRe  = regexp.MustCompile(`"([^"]*)"`)
+)
+
+type wantKey struct {
+	file string // base name
+	line int
+}
+
+// readWants scans a fixture directory for want comments.
+func readWants(t *testing.T, dir string) map[wantKey][]string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[wantKey][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			m := wantLineRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := wantKey{file: e.Name(), line: i + 1}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				wants[k] = append(wants[k], arg[1])
+			}
+		}
+	}
+	return wants
+}
+
+// diffWants checks findings against want comments, both directions.
+func diffWants(t *testing.T, wants map[wantKey][]string, findings []Finding) {
+	t.Helper()
+	pending := map[wantKey][]string{}
+	for k, v := range wants {
+		pending[k] = append([]string(nil), v...)
+	}
+	for _, f := range findings {
+		k := wantKey{file: filepath.Base(f.File), line: f.Line}
+		matched := -1
+		for i, w := range pending[k] {
+			if strings.Contains(f.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		pending[k] = append(pending[k][:matched], pending[k][matched+1:]...)
+	}
+	for k, rest := range pending {
+		for _, w := range rest {
+			t.Errorf("%s:%d: expected a finding containing %q, got none", k.file, k.line, w)
+		}
+	}
+}
+
+func lintFixture(t *testing.T, dir, analyzer string, opts map[string]string) []Finding {
+	t.Helper()
+	findings, err := Lint(
+		LoadConfig{Dir: filepath.Join("testdata", dir), ModulePath: "fixture.test/" + dir},
+		Policy{Rules: []Rule{{Analyzer: analyzer, Packages: []string{"."}, Options: opts}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer string
+		opts     map[string]string
+	}{
+		{dir: "determinism", analyzer: "determinism"},
+		{dir: "codec", analyzer: "canonical-codec"},
+		{dir: "atomicwrite", analyzer: "atomic-write"},
+		{dir: "decode", analyzer: "no-panic-decode"},
+		{dir: "ctx", analyzer: "ctx-propagation"},
+		{dir: "secret", analyzer: "secret-hygiene"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			findings := lintFixture(t, tc.dir, tc.analyzer, tc.opts)
+			diffWants(t, readWants(t, filepath.Join("testdata", tc.dir)), findings)
+		})
+	}
+}
+
+// TestSuppression pins the escape-hatch contract on the suppress fixture:
+// a well-formed //lint:allow with a reason suppresses exactly its finding, a
+// directive missing the mandatory reason is itself a finding (and hides
+// nothing), and a directive covering no finding is flagged as stale.
+func TestSuppression(t *testing.T) {
+	findings := lintFixture(t, "suppress", "determinism", nil)
+	var malformed, unused, surfaced int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "malformed //lint:allow"):
+			malformed++
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "unused //lint:allow determinism"):
+			unused++
+		case f.Analyzer == "determinism":
+			surfaced++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	// Exactly one of each: the suppressed time.Now stays silent, the one
+	// under the malformed directive surfaces.
+	if malformed != 1 || unused != 1 || surfaced != 1 || len(findings) != 3 {
+		t.Errorf("got %d findings (malformed=%d unused=%d surfaced=%d), want 3 (1/1/1):", len(findings), malformed, unused, surfaced)
+		for _, f := range findings {
+			t.Errorf("  %s", f)
+		}
+	}
+}
+
+// TestLintRepoClean is the regression pin for the sweep: the shipped tree
+// holds zero findings under the production policy. Any new violation — or a
+// //lint:allow that stops suppressing anything — fails this test before CI
+// even reaches the dedicated lint job.
+func TestLintRepoClean(t *testing.T) {
+	findings, err := Lint(LoadConfig{Dir: filepath.Join("..", "..")}, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+}

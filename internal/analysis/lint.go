@@ -1,0 +1,60 @@
+package analysis
+
+import "fmt"
+
+// Lint loads the tree at cfg.Dir and runs the policy's analyzers over the
+// packages selected by patterns (module-relative; "..." suffix for
+// subtrees; empty or "./..." selects everything). It returns the surviving
+// findings — suppressions applied, malformed or unused //lint:allow
+// directives included — sorted for stable output.
+func Lint(cfg LoadConfig, policy Policy, patterns ...string) ([]Finding, error) {
+	pkgs, fset, err := Load(cfg)
+	if err != nil {
+		return nil, err
+	}
+	suite := All()
+	var findings []Finding
+	for _, p := range pkgs {
+		if !selected(p.RelDir, patterns) {
+			continue
+		}
+		enabled := policy.analyzersFor(p.RelDir)
+		allows, malformed := collectAllows(fset, p.Files)
+		var pkgFindings []Finding
+		for name, opts := range enabled {
+			a := suite[name]
+			if a == nil {
+				return nil, fmt.Errorf("analysis: policy names unknown analyzer %q", name)
+			}
+			pass := &Pass{
+				Fset:     fset,
+				Files:    p.Files,
+				Pkg:      p.Pkg,
+				Info:     p.Info,
+				RelDir:   p.RelDir,
+				Options:  opts,
+				analyzer: a,
+				findings: &pkgFindings,
+			}
+			a.Run(pass)
+		}
+		pkgFindings = applySuppressions(pkgFindings, allows, fset)
+		findings = append(findings, pkgFindings...)
+		findings = append(findings, malformed...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// selected reports whether a package directory matches any pattern.
+func selected(relDir string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if pat == "..." || matches(pat, relDir) {
+			return true
+		}
+	}
+	return false
+}

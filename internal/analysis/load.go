@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked module package.
+type Package struct {
+	RelDir string // module-relative directory, "." for the module root
+	Path   string // import path
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+}
+
+// LoadConfig configures Load.
+type LoadConfig struct {
+	// Dir is the tree to load: a module root (go.mod present) or, for
+	// fixture trees, any directory of packages.
+	Dir string
+	// ModulePath overrides the module path read from Dir/go.mod. Required
+	// when Dir has no go.mod (golden-fixture trees).
+	ModulePath string
+}
+
+// Load parses and type-checks every package under cfg.Dir, in dependency
+// order, resolving module-internal imports from the loaded set and
+// everything else through the compiler's importer. Test files and testdata
+// trees are skipped: the linter checks shipped code.
+func Load(cfg LoadConfig) ([]*Package, *token.FileSet, error) {
+	root, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	modPath := cfg.ModulePath
+	if modPath == "" {
+		if modPath, err = modulePath(root); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	pkgs := map[string]*Package{} // import path -> package
+	var relDirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		relDirs = append(relDirs, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for _, rel := range relDirs {
+		dir := filepath.Join(root, rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		p := &Package{RelDir: filepath.ToSlash(rel), Files: files}
+		if p.RelDir == "." {
+			p.Path = modPath
+		} else {
+			p.Path = modPath + "/" + p.RelDir
+		}
+		pkgs[p.Path] = p
+	}
+
+	imp := newImporter(fset, pkgs)
+	var order []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", p.Path)
+		case 2:
+			return nil
+		}
+		state[p.Path] = 1
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				path := strings.Trim(spec.Path.Value, `"`)
+				if dep := pkgs[path]; dep != nil {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+		return nil
+	}
+	var paths []string
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(pkgs[path]); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	for _, p := range order {
+		if err := check(fset, p, imp); err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Path < order[j].Path })
+	return order, fset, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}
+
+// check type-checks one package, filling in Pkg and Info.
+func check(fset *token.FileSet, p *Package, imp types.Importer) error {
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(p.Path, fset, p.Files, p.Info)
+	if err != nil {
+		if len(errs) > 0 {
+			return fmt.Errorf("analysis: type-checking %s: %w (and %d more)", p.Path, errs[0], len(errs)-1)
+		}
+		return fmt.Errorf("analysis: type-checking %s: %w", p.Path, err)
+	}
+	p.Pkg = pkg
+	return nil
+}
+
+// moduleImporter resolves module-internal imports from the loaded set and
+// defers everything else to the toolchain: export data first, source as the
+// fallback so the linter still runs where no export data is installed.
+type moduleImporter struct {
+	fset   *token.FileSet
+	mods   map[string]*Package
+	std    types.Importer
+	source types.Importer
+	cache  map[string]*types.Package
+}
+
+func newImporter(fset *token.FileSet, mods map[string]*Package) *moduleImporter {
+	return &moduleImporter{
+		fset:  fset,
+		mods:  mods,
+		std:   importer.Default(),
+		cache: map[string]*types.Package{},
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := m.mods[path]; p != nil {
+		if p.Pkg == nil {
+			return nil, fmt.Errorf("analysis: import %s before it was checked", path)
+		}
+		return p.Pkg, nil
+	}
+	if pkg := m.cache[path]; pkg != nil {
+		return pkg, nil
+	}
+	pkg, err := m.std.Import(path)
+	if err != nil {
+		if m.source == nil {
+			m.source = importer.ForCompiler(m.fset, "source", nil)
+		}
+		if pkg, serr := m.source.Import(path); serr == nil {
+			m.cache[path] = pkg
+			return pkg, nil
+		}
+		return nil, err
+	}
+	m.cache[path] = pkg
+	return pkg, nil
+}

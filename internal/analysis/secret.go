@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// SecretAnalyzer covers the two ways bearer tokens actually leak:
+//
+//   - timing: == / != on a secret-named string short-circuits at the first
+//     differing byte, so response latency reveals the token one byte at a
+//     time — subtle.ConstantTimeCompare is required (comparisons against
+//     the empty string are presence checks and stay allowed);
+//   - logs: a secret-named value passed to fmt/log formatting lands in
+//     error messages, journals, and HTTP responses that outlive the
+//     request.
+//
+// A value is secret-named when its identifier matches the token/secret/
+// password/credential family, excluding the Env/File/Path/Name/Len/Hash
+// suffixes that name metadata about a secret rather than the secret
+// itself, and its type is string or []byte.
+var SecretAnalyzer = &Analyzer{
+	Name: "secret-hygiene",
+	Doc:  "secrets compare in constant time and never reach fmt/log formatting",
+	Run:  runSecret,
+}
+
+var (
+	secretNameRe  = regexp.MustCompile(`(?i)(token|secret|passw|credential|bearer|apikey)`)
+	secretExclRe  = regexp.MustCompile(`(?i)(env|file|path|name|len|hash|count|header|hint)s?$`)
+	logMethodRe   = regexp.MustCompile(`(?i)^(print(f|ln)?|errorf?|fatalf?|panicf?|logf?|warn(f|ing)?|infof?|debugf?|sprintf?|sprintln|fprintf?|fprintln|appendf)$`)
+	fmtLikePkgs   = map[string]bool{"fmt": true, "log": true, "log/slog": true}
+	secretExempts = map[string]bool{"crypto/subtle": true}
+)
+
+func runSecret(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					sec, other := pair[0], pair[1]
+					if !isSecretExpr(p.Info, sec) || isEmptyStringLit(other) {
+						continue
+					}
+					p.Reportf(n.Pos(), "%s compared with %s: short-circuit comparison leaks the secret byte-by-byte through timing — use subtle.ConstantTimeCompare", exprName(sec), n.Op)
+					break
+				}
+			case *ast.CallExpr:
+				callee := calleeFunc(p.Info, n)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				if secretExempts[callee.Pkg().Path()] {
+					return true
+				}
+				if !fmtLikePkgs[callee.Pkg().Path()] && !logMethodRe.MatchString(callee.Name()) {
+					return true
+				}
+				for _, arg := range n.Args {
+					if leaked := findSecretIn(p.Info, arg); leaked != nil {
+						p.Reportf(arg.Pos(), "%s reaches %s.%s: secrets must never be formatted or logged", exprName(leaked), calleePkgName(callee), callee.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isSecretExpr reports whether the expression is a secret-named string or
+// []byte identifier/selector.
+func isSecretExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	var name string
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	if !secretNameRe.MatchString(name) || secretExclRe.MatchString(name) {
+		return false
+	}
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.String || u.Kind() == types.UntypedString
+	case *types.Slice:
+		b, ok := u.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}
+
+// findSecretIn returns a secret-named expression appearing anywhere inside
+// e, including through a string/[]byte conversion; nil if none.
+func findSecretIn(info *types.Info, e ast.Expr) ast.Expr {
+	var hit ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if x, ok := n.(ast.Expr); ok && isSecretExpr(info, x) {
+			hit = x
+		}
+		return hit == nil
+	})
+	return hit
+}
+
+func isEmptyStringLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && (lit.Value == `""` || lit.Value == "``")
+}
+
+func exprName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := baseIdent(x.X); base != nil {
+			return base.Name + "." + x.Sel.Name
+		}
+		return x.Sel.Name
+	}
+	return "secret"
+}
+
+func calleePkgName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return strings.TrimPrefix(sig.Recv().Type().String(), "*")
+	}
+	return f.Pkg().Name()
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed "//lint:allow <analyzer> <reason>" escape
+// hatch. It suppresses findings of the named analyzer on its own line and
+// on the line directly below (a directive on its own comment line covers
+// the statement it precedes).
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+	used     bool
+}
+
+const allowPrefix = "lint:allow"
+
+// collectAllows parses every //lint:allow directive in the files. Malformed
+// directives — missing analyzer, or missing the mandatory reason — are
+// returned as findings: an escape hatch without a recorded justification is
+// itself a violation.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allows []*allowDirective, malformed []Finding) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not directives
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), allowPrefix)
+				if !ok {
+					continue
+				}
+				position := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Pos:      position,
+						File:     position.Filename,
+						Line:     position.Line,
+						Col:      position.Column,
+						Analyzer: "lint",
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (the reason is mandatory)",
+					})
+					continue
+				}
+				allows = append(allows, &allowDirective{
+					file:     position.Filename,
+					line:     position.Line,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// applySuppressions drops findings covered by an allow directive and flags
+// directives that covered nothing: a stale escape hatch hides the next real
+// violation at that line, so it must go when the violation does. Findings
+// of the "lint" meta-analyzer are never suppressible.
+func applySuppressions(findings []Finding, allows []*allowDirective, fset *token.FileSet) []Finding {
+	byKey := map[[2]any][]*allowDirective{}
+	for _, a := range allows {
+		byKey[[2]any{a.file, a.analyzer}] = append(byKey[[2]any{a.file, a.analyzer}], a)
+	}
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		if f.Analyzer != "lint" {
+			for _, a := range byKey[[2]any{f.File, f.Analyzer}] {
+				if a.line == f.Line || a.line == f.Line-1 {
+					a.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, a := range allows {
+		if a.used {
+			continue
+		}
+		position := fset.Position(a.pos)
+		kept = append(kept, Finding{
+			Pos:      position,
+			File:     position.Filename,
+			Line:     position.Line,
+			Col:      position.Column,
+			Analyzer: "lint",
+			Message:  "unused //lint:allow " + a.analyzer + ": no " + a.analyzer + " finding on this or the next line — delete the directive",
+		})
+	}
+	return kept
+}

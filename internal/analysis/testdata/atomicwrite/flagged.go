@@ -1,0 +1,34 @@
+package fixture
+
+import "os"
+
+func saveConfig(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile bypasses"
+}
+
+func truncateLog(path string) error {
+	f, err := os.Create(path) // want "os.Create truncates in place"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func swap(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want "os.Rename outside atomicWrite"
+}
+
+func halfAtomic(dir, path string, data []byte) error { // want "without fsyncing the file" "without syncDir"
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path) // want "os.Rename outside atomicWrite"
+}

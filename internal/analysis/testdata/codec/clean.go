@@ -1,0 +1,15 @@
+package fixture
+
+import "encoding/binary"
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
+func readU32(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b)
+}

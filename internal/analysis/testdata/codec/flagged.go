@@ -1,0 +1,20 @@
+package fixture
+
+import (
+	"encoding/binary"
+	_ "encoding/gob"  // want "encoding/gob"
+	_ "encoding/json" // want "encoding/json"
+	"io"
+)
+
+func putLen(b []byte, v uint32) {
+	binary.BigEndian.PutUint32(b, v) // want "BigEndian"
+}
+
+func writeFrame(w io.Writer, v uint64) error {
+	return binary.Write(w, binary.LittleEndian, v) // want "binary.Write is reflection-driven"
+}
+
+func readFrame(r io.Reader, v *uint64) error {
+	return binary.Read(r, binary.LittleEndian, v) // want "binary.Read is reflection-driven"
+}

@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func WaitResultCtx(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func helperWait(ch chan int) int {
+	return <-ch // unexported: ctx-aware exported APIs wrap it
+}
+
+func Spawn(fn func()) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+	return &wg
+}

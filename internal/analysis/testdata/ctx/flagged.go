@@ -1,0 +1,30 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func runDetached(job func(context.Context)) {
+	job(context.Background()) // want "context.Background in library code"
+}
+
+func pollDefault() context.Context {
+	return context.TODO() // want "context.TODO in library code"
+}
+
+func Process(ctx context.Context, items []int) int { // want "Process accepts ctx but never threads it"
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+func WaitResult(ch chan int) int { // want "receives from a channel"
+	return <-ch
+}
+
+func Drain(wg *sync.WaitGroup) { // want "calls Wait"
+	wg.Wait()
+}

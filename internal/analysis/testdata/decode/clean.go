@@ -1,0 +1,67 @@
+package fixture
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+var errInvalid = errors.New("invalid input")
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+func readPayloadBounded(r *bytes.Reader, max int) ([]byte, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > max {
+		return nil, errInvalid
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func readVec(r *bytes.Reader) ([]uint32, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	// Chunked helper: the bytes for each element must actually arrive, so a
+	// forged count fails at a truncated read instead of pre-allocating.
+	return appendU32s(r, nil, n)
+}
+
+func appendU32s(r *bytes.Reader, dst []uint32, n uint32) ([]uint32, error) {
+	for i := uint32(0); i < n; i++ {
+		v, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+func decodeAny(v any) (int, error) {
+	n, ok := v.(int)
+	if !ok {
+		return 0, errInvalid
+	}
+	return n, nil
+}
+
+func mustAlign(n int) {
+	if n%8 != 0 {
+		panic("misaligned") // not a decode-path function: out of scope
+	}
+}

@@ -1,0 +1,33 @@
+package fixture
+
+import (
+	"bytes"
+	"io"
+)
+
+func decodeMagic(r *bytes.Reader) (uint32, error) {
+	magic, err := readU32(r)
+	if err != nil {
+		return 0, err
+	}
+	if magic == 0 {
+		panic("zero magic") // want "panic in decode path"
+	}
+	return magic, nil
+}
+
+func decodeValue(v any) int {
+	return v.(int) // want "unchecked type assertion"
+}
+
+func readPayload(r *bytes.Reader) ([]byte, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n) // want "wire-controlled"
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

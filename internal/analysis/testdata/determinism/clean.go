@@ -1,0 +1,45 @@
+package fixture
+
+import "sort"
+
+func histogram(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative integer update: every order sums the same
+	}
+	return total
+}
+
+func count(m map[string]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // keyed into another map: order-insensitive
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // collect-then-sort erases the iteration order
+	return keys
+}
+
+func scoped(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		double := v * 2 // declared inside the loop: invisible outside
+		n += double
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+package fixture
+
+import (
+	"bytes"
+	"time"
+
+	_ "math/rand" // want "internal/xrand"
+)
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "writes to keys"
+	}
+	return keys
+}
+
+func render(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want "buf.WriteString"
+	}
+}
+
+func last(m map[string]int) string {
+	var best string
+	for k := range m {
+		best = k // want "writes to best"
+	}
+	return best
+}

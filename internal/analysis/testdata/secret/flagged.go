@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"fmt"
+	"log"
+)
+
+func checkToken(token, presented string) bool {
+	return token == presented // want "token compared with =="
+}
+
+func rejectKey(apiKey, presented string) bool {
+	return apiKey != presented // want "apiKey compared with !="
+}
+
+func debugDump(token string) {
+	fmt.Printf("token=%s\n", token) // want "token reaches fmt.Printf"
+}
+
+func auditLog(secret []byte) {
+	log.Printf("denied for %x", secret) // want "secret reaches log.Printf"
+}

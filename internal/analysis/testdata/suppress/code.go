@@ -1,0 +1,23 @@
+package fixture
+
+import "time"
+
+// A justified exception: the finding on the next line is suppressed.
+func suppressed() time.Time {
+	//lint:allow determinism fixture exception with a recorded reason
+	return time.Now()
+}
+
+// A directive with no reason is malformed: it suppresses nothing, and is
+// itself a finding — so the time.Now below surfaces too.
+func missingReason() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}
+
+// A directive that suppresses nothing is a stale escape hatch.
+//
+//lint:allow determinism nothing on the next line violates determinism
+func unusedDirective() int {
+	return 4
+}

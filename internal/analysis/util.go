@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call's target to a *types.Func when the callee is a
+// plain function, method, or method value; nil for builtins, conversions,
+// and function-typed variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // instantiated generic function
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name && f.Type().(*types.Signature).Recv() == nil
+}
+
+// usesPkgObject reports whether the selector refers to the package-level
+// object pkgPath.name (function, var, or const), resolving through the
+// type-checker so local shadows of the package name do not confuse it.
+func usesPkgObject(info *types.Info, sel *ast.SelectorExpr, pkgPath, name string) bool {
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() != pkgPath || obj.Name() != name {
+		return false
+	}
+	// Package-level only: a method or field that happens to share the name
+	// does not count.
+	if f, ok := obj.(*types.Func); ok && f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return true
+}
+
+// baseIdent unwraps index, selector, star, and paren expressions to the
+// identifier at the base of an lvalue; nil when the base is not a plain
+// identifier (e.g. a call result).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether the identifier's object is declared inside
+// the node (by position).
+func declaredWithin(info *types.Info, id *ast.Ident, n ast.Node) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// refersTo reports whether expr mentions the object.
+func refersTo(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcName returns the name of a function declaration, receiver-less.
+func funcName(fd *ast.FuncDecl) string { return fd.Name.Name }
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasReadMethod reports whether t (or *t) has a Read or ReadByte method —
+// the linter's notion of "a wire reader": values produced through it are
+// attacker-controlled until something bounds them.
+func hasReadMethod(t types.Type) bool {
+	for _, name := range []string{"Read", "ReadByte"} {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitList splits a comma-separated option value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -34,6 +34,7 @@ type Result struct {
 // output pairs. Both engines are deterministic; for fixed inputs and options
 // the result is identical regardless of Workers.
 func Reconcile(g1, g2 *graph.Graph, seeds []graph.Pair, opts Options) (*Result, error) {
+	//lint:allow ctx-propagation pre-context entry point kept for API compatibility and pinned by equivalence tests; cancellable callers use ReconcileContext
 	return ReconcileContext(context.Background(), g1, g2, seeds, opts, nil)
 }
 

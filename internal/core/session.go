@@ -94,6 +94,7 @@ func (s *Session) SetProgress(fn func(PhaseEvent)) { s.progress = fn }
 // Run performs the given number of full bucket sweeps and returns how many
 // new links were found.
 func (s *Session) Run(sweeps int) int {
+	//lint:allow ctx-propagation deprecated pre-context wrapper kept for API compatibility and pinned by equivalence tests; new callers use RunContext
 	found, _ := s.RunContext(context.Background(), sweeps)
 	return found
 }
@@ -168,6 +169,7 @@ func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 // RunUntilStable sweeps until a full sweep finds nothing new (or maxSweeps
 // is reached), returning the total number of links found.
 func (s *Session) RunUntilStable(maxSweeps int) int {
+	//lint:allow ctx-propagation deprecated pre-context wrapper kept for API compatibility and pinned by equivalence tests; new callers use RunUntilStableContext
 	total, _ := s.RunUntilStableContext(context.Background(), maxSweeps)
 	return total
 }

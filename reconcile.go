@@ -278,6 +278,7 @@ func Reconcile(g1, g2 *Graph, seeds []Pair, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctx-propagation deprecated pre-context wrapper; documented to produce identical results, cancellable callers use New+Run
 	return r.Run(context.Background())
 }
 
