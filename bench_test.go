@@ -195,7 +195,7 @@ func makeInstance(n, m int) benchInstance {
 }
 
 // BenchmarkReconcilePA measures the end-to-end matcher on a PA instance
-// (n=20k, m=20 — Figure 2's shape at bench scale), default (frontier)
+// (n=20k, m=20 — Figure 2's shape at bench scale), default (hybrid)
 // engine.
 func BenchmarkReconcilePA(b *testing.B) {
 	inst := makeInstance(20000, 20)
@@ -254,6 +254,23 @@ func BenchmarkReconcileFrontier(b *testing.B) {
 	}
 }
 
+// BenchmarkReconcileHybrid is the same instance on the hybrid engine — the
+// default. Cold batch runs stay in the parallel regime until the commit rate
+// decays, so this row must track BenchmarkReconcileParallel, not
+// BenchmarkReconcileFrontier's 0.6x; the recorded gap is the cost of the
+// late-sweep handoff minus the frontier's win on the converged tail.
+func BenchmarkReconcileHybrid(b *testing.B) {
+	inst := makeInstance(10000, 10)
+	opts := reconcile.DefaultOptions()
+	opts.Engine = reconcile.EngineHybrid
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reconcile.Reconcile(inst.g1, inst.g2, inst.seeds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReconcileFrontierIncremental measures the production steady
 // state the frontier engine exists for: a converged Reconciler ingesting a
 // small batch of new trusted links and re-sweeping. The full engines pay a
@@ -267,6 +284,16 @@ func BenchmarkReconcileFrontierIncremental(b *testing.B) {
 // the full parallel engine, for the ratio.
 func BenchmarkReconcileParallelIncremental(b *testing.B) {
 	benchIncremental(b, reconcile.EngineParallel)
+}
+
+// BenchmarkReconcileHybridIncremental is the incremental workload on the
+// default engine: by ingest time the run converged long ago, so the hybrid
+// has handed off and this row must track the frontier's order-of-magnitude
+// win over BenchmarkReconcileParallelIncremental — the degenerate default
+// this PR's engine switch exists to fix, measured on the workload users get
+// without choosing an engine.
+func BenchmarkReconcileHybridIncremental(b *testing.B) {
+	benchIncremental(b, reconcile.EngineHybrid)
 }
 
 // BenchmarkReconcileFrontierIncrementalCheckpoint is the incremental

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	benchcheck -tolerance 0.25 -baseline BENCH_engines.json [-baseline …] out1.txt [out2.txt …]
+//	benchcheck -tolerance 0.25 -baseline BENCH_engines.json [-baseline …] \
+//	    [-dominance 'BenchmarkDefault:BenchmarkFixedA,BenchmarkFixedB' …] out1.txt [out2.txt …]
 //
 // Bench output files are whatever `go test -run '^$' -bench … -count N`
 // printed (CI tees them and uploads them as artifacts). Baselines are the
@@ -23,6 +24,15 @@
 // differ, and -benchtime 1x is noisy — the gate exists to catch
 // order-of-magnitude scheduling regressions the moment they land, not 5%
 // drifts, which re-recording on comparable hardware tracks instead.
+//
+// A -dominance rule 'Default:FixedA,FixedB' additionally asserts that the
+// measured Default row is no slower than the best of the fixed rows times
+// (1+tolerance). Unlike the baseline gate, this compares rows measured in
+// the same run on the same machine, so it holds on any hardware: it is how
+// CI pins that the default (hybrid) engine never loses a workload to an
+// engine a user could have pinned by hand. Every benchmark a rule names
+// must appear in the measured output — a missing row fails the gate rather
+// than silently weakening it.
 package main
 
 import (
@@ -80,10 +90,62 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
+// dominanceRule asserts that one benchmark (the default engine's row) is no
+// slower than the best of a set of alternatives measured in the same run.
+type dominanceRule struct {
+	def        string
+	candidates []string
+}
+
+// parseDominance parses 'Default:FixedA,FixedB'.
+func parseDominance(spec string) (dominanceRule, error) {
+	def, rest, ok := strings.Cut(spec, ":")
+	var r dominanceRule
+	if !ok || def == "" || rest == "" {
+		return r, fmt.Errorf("dominance rule %q: want 'Default:FixedA,FixedB'", spec)
+	}
+	r.def = def
+	for _, c := range strings.Split(rest, ",") {
+		if c == "" {
+			return r, fmt.Errorf("dominance rule %q: empty candidate name", spec)
+		}
+		r.candidates = append(r.candidates, c)
+	}
+	return r, nil
+}
+
+// checkDominance applies one rule against the measured results; the returned
+// error is the gate failure, if any.
+func checkDominance(r dominanceRule, best map[string]float64, tolerance float64) error {
+	def, ok := best[r.def]
+	if !ok {
+		return fmt.Errorf("dominance rule names %s, which was not measured", r.def)
+	}
+	bestFixed := 0.0
+	bestName := ""
+	for _, c := range r.candidates {
+		ns, ok := best[c]
+		if !ok {
+			return fmt.Errorf("dominance rule names %s, which was not measured", c)
+		}
+		if bestName == "" || ns < bestFixed {
+			bestFixed, bestName = ns, c
+		}
+	}
+	if def > bestFixed*(1+tolerance) {
+		return fmt.Errorf("%s at %.0f ns/op loses to %s at %.0f ns/op by more than %.0f%% — the default engine must not lose a workload to a pinned engine",
+			r.def, def, bestName, bestFixed, tolerance*100)
+	}
+	fmt.Printf("  ok %-55s %14.0f ns/op vs best fixed %s %.0f (%+.1f%%)\n",
+		r.def+" (dominance)", def, bestName, bestFixed, (def/bestFixed-1)*100)
+	return nil
+}
+
 func run() error {
-	var baselines multiFlag
+	var baselines, dominances multiFlag
 	tolerance := flag.Float64("tolerance", 0.25, "allowed ns/op regression vs the baseline (0.25 = +25%)")
 	flag.Var(&baselines, "baseline", "BENCH_*.json baseline file (repeatable)")
+	flag.Var(&dominances, "dominance", "'Default:FixedA,FixedB' same-run dominance assertion (repeatable)")
 	flag.Parse()
 	if len(baselines) == 0 || flag.NArg() == 0 {
 		return fmt.Errorf("usage: benchcheck -tolerance 0.25 -baseline BENCH_x.json [...] bench-output.txt [...]")
@@ -145,8 +207,18 @@ func run() error {
 		fmt.Printf("%4s %-55s %14.0f ns/op vs baseline %.0f (%+.1f%%)%s\n",
 			mark, name, ns, base, (ns/base-1)*100, note)
 	}
+	for _, spec := range dominances {
+		rule, err := parseDominance(spec)
+		if err != nil {
+			return err
+		}
+		if err := checkDominance(rule, best, *tolerance); err != nil {
+			fmt.Printf("FAIL %s\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs the committed baselines", failed, *tolerance*100)
+		return fmt.Errorf("%d benchmark gate(s) failed at the %.0f%% tolerance", failed, *tolerance*100)
 	}
 	return nil
 }

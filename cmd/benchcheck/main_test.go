@@ -97,4 +97,42 @@ func TestGateEndToEnd(t *testing.T) {
 	if _, err := exec.Command(bin, "-tolerance", "0.25", "-baseline", baseline, empty).CombinedOutput(); err == nil {
 		t.Fatal("empty bench output passed the gate")
 	}
+
+	// Dominance: the default-engine row must stay within tolerance of the
+	// best fixed-engine row measured in the same run.
+	engines := write("engines.txt", strings.Join([]string{
+		"BenchmarkHybrid-4   	     100	 1050000 ns/op", // +5% over best fixed: fine
+		"BenchmarkFixedA-4   	     100	 1000000 ns/op",
+		"BenchmarkFixedB-4   	     100	 2000000 ns/op",
+	}, "\n"))
+	rule := "BenchmarkHybrid:BenchmarkFixedA,BenchmarkFixedB"
+	if out, err := exec.Command(bin, "-tolerance", "0.25", "-baseline", baseline,
+		"-dominance", rule, engines).CombinedOutput(); err != nil {
+		t.Fatalf("dominance within tolerance failed: %v\n%s", err, out)
+	}
+
+	lost := write("lost.txt", strings.Join([]string{
+		"BenchmarkHybrid-4   	     100	 1300000 ns/op", // +30% over best fixed
+		"BenchmarkFixedA-4   	     100	 1000000 ns/op",
+		"BenchmarkFixedB-4   	     100	 2000000 ns/op",
+	}, "\n"))
+	out, err = exec.Command(bin, "-tolerance", "0.25", "-baseline", baseline,
+		"-dominance", rule, lost).CombinedOutput()
+	if err == nil {
+		t.Fatalf("default engine losing a workload passed the gate:\n%s", out)
+	}
+	if !strings.Contains(string(out), "BenchmarkFixedA") {
+		t.Fatalf("dominance failure does not name the winning fixed engine:\n%s", out)
+	}
+
+	// A rule naming an unmeasured benchmark fails loudly instead of
+	// silently weakening the gate.
+	if _, err := exec.Command(bin, "-tolerance", "0.25", "-baseline", baseline,
+		"-dominance", "BenchmarkHybrid:BenchmarkMissing", engines).CombinedOutput(); err == nil {
+		t.Fatal("dominance rule with an unmeasured candidate passed")
+	}
+	if _, err := exec.Command(bin, "-tolerance", "0.25", "-baseline", baseline,
+		"-dominance", "garbage", engines).CombinedOutput(); err == nil {
+		t.Fatal("malformed dominance rule accepted")
+	}
 }

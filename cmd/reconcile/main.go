@@ -35,7 +35,7 @@ func main() {
 		seedsPath  = flag.String("seeds", "", "seed links file: 'id1 id2' per line in original IDs (required)")
 		threshold  = flag.Int("threshold", 2, "minimum matching score T")
 		iterations = flag.Int("iterations", 2, "number of sweeps k")
-		engine     = flag.String("engine", "frontier", "engine: frontier, parallel, sequential, mapreduce (all produce identical links)")
+		engine     = flag.String("engine", "hybrid", "engine: hybrid, frontier, parallel, sequential, mapreduce (all produce identical links)")
 		workers    = flag.Int("workers", 0, "goroutines (0 = GOMAXPROCS)")
 		noBuckets  = flag.Bool("no-bucketing", false, "disable the degree bucketing schedule (ablation)")
 		ties       = flag.String("ties", "reject", "tie policy: reject (conservative) or lowest-id (greedy)")
@@ -99,8 +99,10 @@ func main() {
 
 	var res *reconcile.Result
 	switch *engine {
-	case "frontier", "parallel", "sequential":
+	case "hybrid", "frontier", "parallel", "sequential":
 		switch *engine {
+		case "hybrid":
+			opts.Engine = reconcile.EngineHybrid
 		case "frontier":
 			opts.Engine = reconcile.EngineFrontier
 		case "parallel":

@@ -100,7 +100,10 @@ func BenchmarkStoreCheckpoint(b *testing.B) {
 
 // BenchmarkStoreRecovery measures boot-time chain replay: loading one job
 // back from a chain of one full plus 7 deltas (the -full-every 8 worst
-// case) including graph reads and full state re-validation.
+// case) including graph reads and full state re-validation. The engine is
+// pinned to frontier: the default hybrid's regime handoff re-anchors the
+// chain with a mid-run full, which (with retention) would change the chain
+// shape this bench exists to measure.
 func BenchmarkStoreRecovery(b *testing.B) {
 	st, err := newStore(b.TempDir(), storeConfig{shards: 1, fullEvery: 8, keep: 2})
 	if err != nil {
@@ -110,7 +113,8 @@ func BenchmarkStoreRecovery(b *testing.B) {
 	world := reconcile.GeneratePA(r, 2000, 6)
 	g1, g2 := reconcile.IndependentCopies(r, world, 0.8, 0.8)
 	seeds := reconcile.Seeds(r, reconcile.IdentityPairs(2000), 0.2)
-	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(8))
+	rec, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(8),
+		reconcile.WithEngine(reconcile.EngineFrontier))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -127,7 +131,8 @@ func BenchmarkStoreRecovery(b *testing.B) {
 			}
 		}
 	}
-	rec2, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(8), reconcile.WithProgress(hook))
+	rec2, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(8),
+		reconcile.WithEngine(reconcile.EngineFrontier), reconcile.WithProgress(hook))
 	if err != nil {
 		b.Fatal(err)
 	}

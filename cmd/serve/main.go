@@ -82,7 +82,7 @@
 // Graphs are submitted as {"nodes": n, "edges": [[u, v], ...]} with dense
 // 0-based IDs; seeds and returned pairs are [left, right] arrays. Options
 // mirror the functional options of the Go API: threshold, iterations,
-// engine ("frontier"/"parallel"/"sequential" — identical output, see
+// engine ("hybrid"/"frontier"/"parallel"/"sequential" — identical output, see
 // DESIGN.md for the scheduling difference), scoring ("count"/"adamic-adar"),
 // ties ("reject"/"lowest-id"), workers, margin, bucketing, minBucketExp,
 // maxDegree. Request bodies beyond -max-body-bytes are refused with 413.

@@ -41,7 +41,7 @@ type graphSpec struct {
 type optionsSpec struct {
 	Threshold    *int   `json:"threshold,omitempty"`
 	Iterations   *int   `json:"iterations,omitempty"`
-	Engine       string `json:"engine,omitempty"`  // "frontier" | "parallel" | "sequential"
+	Engine       string `json:"engine,omitempty"`  // "hybrid" | "frontier" | "parallel" | "sequential"
 	Scoring      string `json:"scoring,omitempty"` // "count" | "adamic-adar"
 	Ties         string `json:"ties,omitempty"`    // "reject" | "lowest-id"
 	Workers      *int   `json:"workers,omitempty"`
@@ -360,6 +360,20 @@ func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
 			Matched:   e.Matched,
 			Total:     e.TotalLinks,
 		})
+		if e.Bucket == e.Buckets {
+			// Mirror the session's own bounded phase log: a long-lived
+			// incremental job keeps the last PhaseRetainSweeps sweeps of
+			// bucket detail, so the wire view and meta stay O(1) however
+			// many resume/seed rounds the job accumulates.
+			minIter := e.Iteration - reconcile.PhaseRetainSweeps + 1
+			cut := 0
+			for cut < len(j.phases) && j.phases[cut].Iteration < minIter {
+				cut++
+			}
+			if cut > 0 {
+				j.phases = append(j.phases[:0], j.phases[cut:]...)
+			}
+		}
 		j.links = e.TotalLinks
 		persist := j.js != nil && !j.deleted && (e.Bucket == e.Buckets || j.wantCheckpoint)
 		var meta jobMeta
@@ -527,6 +541,8 @@ func buildOptions(spec optionsSpec) ([]reconcile.Option, error) {
 	}
 	switch spec.Engine {
 	case "":
+	case "hybrid":
+		opts = append(opts, reconcile.WithEngine(reconcile.EngineHybrid))
 	case "frontier":
 		opts = append(opts, reconcile.WithEngine(reconcile.EngineFrontier))
 	case "parallel":

@@ -332,7 +332,7 @@ func TestServeEngineSelection(t *testing.T) {
 
 	req := testInstance(t, 400, 0.2)
 	counts := map[string]int{}
-	for _, engine := range []string{"frontier", "parallel", "sequential"} {
+	for _, engine := range []string{"hybrid", "frontier", "parallel", "sequential"} {
 		req.Options.Engine = engine
 		resp := postJSON(t, ts.URL+"/v1/jobs", req)
 		if resp.StatusCode != http.StatusAccepted {

@@ -32,7 +32,11 @@ func chainVictim(t *testing.T, st *store, id string, iterations, sweeps int) (wa
 	}
 	seeds := toPairs(req.Seeds)
 
-	ref, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(iterations))
+	// Pin a fixed engine: the default hybrid's regime handoff forces one
+	// extra full record mid-chain (ErrFullRequired), which would perturb the
+	// exact full/delta shapes these tests assert on.
+	ref, err := reconcile.New(g1, g2, reconcile.WithSeeds(seeds), reconcile.WithIterations(iterations),
+		reconcile.WithEngine(reconcile.EngineFrontier))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +55,7 @@ func chainVictim(t *testing.T, st *store, id string, iterations, sweeps int) (wa
 	victim, err = reconcile.New(g1, g2,
 		reconcile.WithSeeds(seeds),
 		reconcile.WithIterations(iterations),
+		reconcile.WithEngine(reconcile.EngineFrontier),
 		reconcile.WithProgress(func(e reconcile.PhaseEvent) {
 			phases = append(phases, phaseJSON{
 				Iteration: e.Iteration, Bucket: e.Bucket, Buckets: e.Buckets,

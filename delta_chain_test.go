@@ -20,20 +20,26 @@ type chainRecord struct {
 }
 
 // TestDeltaChainResumeEquivalence extends the PR 3 resume-equivalence
-// guarantee to delta chains, on all three engines: a run checkpointed as
+// guarantee to delta chains, on all four engines: a run checkpointed as
 // (full + per-bucket deltas), cut at any checkpoint, replayed and resumed,
 // finishes bit-identically to the run that was never interrupted — and the
 // replayed state is byte-identical to the monolithic snapshot taken at the
 // same boundary, so restore-from-chain and restore-from-snapshot are the
-// same operation.
+// same operation. The hybrid row runs a schedule long enough to cross its
+// regime handoff, whose checkpoint is not delta-expressible: the chain must
+// re-anchor with a full there (ErrFullRequired) and keep replaying.
 func TestDeltaChainResumeEquivalence(t *testing.T) {
 	g1, g2, seeds := snapshotInstance(t)
-	for _, engine := range []reconcile.Engine{reconcile.EngineFrontier, reconcile.EngineParallel, reconcile.EngineSequential} {
+	for _, engine := range []reconcile.Engine{reconcile.EngineFrontier, reconcile.EngineParallel, reconcile.EngineSequential, reconcile.EngineHybrid} {
 		t.Run(engine.String(), func(t *testing.T) {
+			iterations := 3
+			if engine == reconcile.EngineHybrid {
+				iterations = 8 // commits decay to zero and the handoff fires mid-chain
+			}
 			opts := []reconcile.Option{
 				reconcile.WithSeeds(seeds),
 				reconcile.WithEngine(engine),
-				reconcile.WithIterations(3),
+				reconcile.WithIterations(iterations),
 			}
 			ref, err := reconcile.New(g1, g2, opts...)
 			if err != nil {
@@ -63,7 +69,15 @@ func TestDeltaChainResumeEquivalence(t *testing.T) {
 							t.Errorf("full checkpoint: %v", err)
 							return
 						}
-					} else if err := ckpt.WriteDelta(&buf, victim); err != nil {
+					} else if err := ckpt.WriteDelta(&buf, victim); errors.Is(err, reconcile.ErrFullRequired) {
+						// The hybrid handoff just landed; re-anchor the chain.
+						rec.full = true
+						buf.Reset()
+						if err := ckpt.WriteFull(&buf, victim); err != nil {
+							t.Errorf("re-anchor full checkpoint %d: %v", len(chain), err)
+							return
+						}
+					} else if err != nil {
 						t.Errorf("delta checkpoint %d: %v", len(chain), err)
 						return
 					}
@@ -86,14 +100,30 @@ func TestDeltaChainResumeEquivalence(t *testing.T) {
 				t.Fatalf("victim checkpointed %d times, want one per phase (%d)", len(chain), len(want.Phases))
 			}
 
-			for _, cut := range []int{0, 1, len(chain) / 2, len(chain) - 1} {
-				// "New process": replay the chain prefix ending at cut from
-				// bytes alone.
-				st, err := reconcile.ReadSessionState(bytes.NewReader(chain[0].data))
-				if err != nil {
-					t.Fatalf("cut %d: read full: %v", cut, err)
+			// The hybrid chain must actually contain the re-anchoring full —
+			// otherwise the schedule never crossed the handoff and the row
+			// proves nothing extra.
+			anchor := func(cut int) int {
+				for i := cut; i > 0; i-- {
+					if chain[i].full {
+						return i
+					}
 				}
-				for i := 1; i <= cut; i++ {
+				return 0
+			}
+			if engine == reconcile.EngineHybrid && anchor(len(chain)-1) == 0 {
+				t.Fatal("hybrid chain has no mid-chain full; the handoff never fired")
+			}
+
+			for _, cut := range []int{0, 1, len(chain) / 2, len(chain) - 1} {
+				// "New process": replay from the last full at or before the
+				// cut, from bytes alone.
+				base := anchor(cut)
+				st, err := reconcile.ReadSessionState(bytes.NewReader(chain[base].data))
+				if err != nil {
+					t.Fatalf("cut %d: read full %d: %v", cut, base, err)
+				}
+				for i := base + 1; i <= cut; i++ {
 					d, err := reconcile.ReadStateDelta(bytes.NewReader(chain[i].data))
 					if err != nil {
 						t.Fatalf("cut %d: read delta %d: %v", cut, i, err)
@@ -128,7 +158,7 @@ func TestDeltaChainResumeEquivalence(t *testing.T) {
 			}
 
 			// A delta applied out of order is refused, not replayed wrongly.
-			if len(chain) > 2 {
+			if len(chain) > 2 && !chain[2].full {
 				st, err := reconcile.ReadSessionState(bytes.NewReader(chain[0].data))
 				if err != nil {
 					t.Fatal(err)

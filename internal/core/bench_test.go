@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/sociograph/reconcile/internal/graph"
@@ -28,16 +29,60 @@ func BenchmarkBucketed(b *testing.B) {
 	benchRun(b, DefaultOptions())
 }
 
-// BenchmarkEngine compares the three in-core engines on the identical
+// BenchmarkEngine compares the four in-core engines on the identical
 // instance and configuration; their outputs are bit-identical, so the
 // ns/op ratios are pure scheduling cost.
 func BenchmarkEngine(b *testing.B) {
-	for _, engine := range []Engine{EngineSequential, EngineParallel, EngineFrontier} {
+	for _, engine := range []Engine{EngineSequential, EngineParallel, EngineFrontier, EngineHybrid} {
 		b.Run(engine.String(), func(b *testing.B) {
 			o := DefaultOptions()
 			o.Engine = engine
 			benchRun(b, o)
 		})
+	}
+}
+
+// BenchmarkHybridCrossover is the calibration harness behind
+// hybridCrossoverRate: on the BenchmarkEngine instance it prices one
+// additional sweep at each point of the commit-rate decay, on both fixed
+// regimes. Each sub-benchmark advances a session to sweep boundary s-1 once,
+// then repeatedly restores that state and times sweep s alone, reporting the
+// sweep's commit rate (matched per node, scaled by 1e6 to survive the metric
+// format) alongside ns/op. The crossover constant is chosen between the
+// commit rate of the last parallel-won sweep and the first frontier-won
+// sweep; see hybrid.go for the recorded numbers.
+func BenchmarkHybridCrossover(b *testing.B) {
+	g1, g2, seeds := benchInstance(b)
+	nodes := float64(g1.NumNodes() + g2.NumNodes())
+	for s := 1; s <= 6; s++ {
+		for _, engine := range []Engine{EngineParallel, EngineFrontier} {
+			b.Run(fmt.Sprintf("sweep%d/%s", s, engine), func(b *testing.B) {
+				o := DefaultOptions()
+				o.Engine = engine
+				base, err := NewSession(g1, g2, seeds, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				base.Run(s - 1)
+				st := base.ExportState()
+				matched := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					sess, err := RestoreSession(g1, g2, st)
+					if err != nil {
+						b.Fatal(err)
+					}
+					before := sess.Len()
+					b.StartTimer()
+					sess.Run(1)
+					b.StopTimer()
+					matched = sess.Len() - before
+					b.StartTimer()
+				}
+				b.ReportMetric(float64(matched)/nodes*1e6, "commit-rate-ppm")
+			})
+		}
 	}
 }
 

@@ -14,11 +14,13 @@
 // of the errors.
 //
 // The package provides a sequential reference engine, a parallel engine that
-// partitions the candidate scan across goroutines, and a frontier engine
-// (the default) that re-scores only nodes whose scoring inputs changed since
-// their last scoring; all are deterministic and produce identical matchings.
-// A fourth formulation as explicit MapReduce rounds lives in
-// internal/mapreduce and is tested for equivalence against these engines.
+// partitions the candidate scan across goroutines, a frontier engine that
+// re-scores only nodes whose scoring inputs changed since their last scoring,
+// and a hybrid engine (the default) that starts parallel and hands off to the
+// frontier engine once the per-sweep commit rate falls below a measured
+// crossover; all are deterministic and produce identical matchings. A further
+// formulation as explicit MapReduce rounds lives in internal/mapreduce and is
+// tested for equivalence against these engines.
 package core
 
 import (
@@ -40,11 +42,22 @@ const (
 	EngineSequential
 	// EngineFrontier re-scores only nodes whose scoring inputs changed since
 	// their last scoring (the dirty frontier around freshly committed links),
-	// caching every node's per-bucket-level proposal across passes. It is the
-	// default: output is bit-identical to the other engines at a fraction of
-	// the scoring work, and Workers parallelizes its re-scoring batches. See
-	// frontierState for the scheduling invariants.
+	// caching every node's per-bucket-level proposal across passes. Output is
+	// bit-identical to the other engines at a fraction of the scoring work on
+	// incremental workloads, and Workers parallelizes its re-scoring batches.
+	// On commit-dense cold batches its invalidation churn approaches a full
+	// rescan and it runs ~0.6x the parallel engine. See frontierState for the
+	// scheduling invariants.
 	EngineFrontier
+	// EngineHybrid is the default: it starts on the parallel engine and, at
+	// the first sweep boundary whose observed commit rate falls below the
+	// measured crossover (hybridCrossoverRate), hands the live matching to a
+	// freshly built frontier state and continues on the frontier engine —
+	// parallel's throughput where commits are dense, frontier's incremental
+	// scheduling once they are sparse. The handoff is the same state transfer
+	// a cross-engine restore performs, so output stays bit-identical to every
+	// fixed engine; the regime choice affects performance only.
+	EngineHybrid
 )
 
 func (e Engine) String() string {
@@ -55,6 +68,8 @@ func (e Engine) String() string {
 		return "sequential"
 	case EngineFrontier:
 		return "frontier"
+	case EngineHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -145,8 +160,8 @@ type Options struct {
 	// 0 means max(Δ(G1), Δ(G2)).
 	MaxDegree int
 
-	// Engine selects the execution strategy: frontier (default), parallel,
-	// or sequential. All three produce bit-identical output.
+	// Engine selects the execution strategy: hybrid (default), frontier,
+	// parallel, or sequential. All engines produce bit-identical output.
 	Engine Engine
 
 	// Workers bounds the goroutines of the parallel engine's candidate scan
@@ -170,13 +185,14 @@ type Options struct {
 
 // DefaultOptions returns the configuration used throughout the paper's
 // experiments: T = 2, k = 2 sweeps, bucketing down to degree 2, on the
-// frontier engine (identical output to the others, least work).
+// hybrid engine (identical output to the fixed engines, least work on both
+// commit-dense and incremental workloads).
 func DefaultOptions() Options {
 	return Options{
 		Threshold:    2,
 		Iterations:   2,
 		MinBucketExp: 1,
-		Engine:       EngineFrontier,
+		Engine:       EngineHybrid,
 	}
 }
 
@@ -197,7 +213,9 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return errors.New("core: Workers must be >= 0")
 	}
-	if o.Engine != EngineParallel && o.Engine != EngineSequential && o.Engine != EngineFrontier {
+	switch o.Engine {
+	case EngineParallel, EngineSequential, EngineFrontier, EngineHybrid:
+	default:
 		return fmt.Errorf("core: unknown engine %d", int(o.Engine))
 	}
 	if o.Ties != TieReject && o.Ties != TieLowestID {

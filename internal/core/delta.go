@@ -8,8 +8,9 @@ import (
 )
 
 // State diffing: between two checkpoints of the same run, almost everything
-// in a SessionState is either append-only (the matching is monotone, the
-// phase log only grows) or a small dense structure of which only a small
+// in a SessionState is either append-only (the matching is monotone; the
+// phase history only grows, even though the retained window over it is
+// bounded and slides) or a small dense structure of which only a small
 // fraction changes (the frontier proposal cache — exactly the entries the
 // engine re-scored). A StateDelta captures precisely that churn, so a
 // per-sweep checkpoint costs O(changes since the last checkpoint) instead of
@@ -31,18 +32,30 @@ var ErrNotDiffable = errors.New("core: states are not delta-compatible; write a 
 // with a missing or reordered record fails loudly instead of replaying into
 // a wrong state.
 type StateDelta struct {
-	// Base fingerprint: the schedule position and log lengths of the state
-	// this delta applies to.
-	BasePairs      int
-	BasePhases     int
-	BaseSweeps     int
-	BaseNextBucket int
+	// Base fingerprint: the schedule position, log lengths, evicted-phase
+	// offset and hybrid regime of the state this delta applies to.
+	BasePairs         int
+	BasePhases        int
+	BaseSweeps        int
+	BaseNextBucket    int
+	BasePhasesDropped int
 
 	// The new schedule position.
 	Sweeps     int
 	NextBucket int
 
-	// NewPairs and NewPhases are the entries appended since the base state.
+	// The target's phase-window offset and evicted totals. Deltas never span
+	// a hybrid regime change (the frontier caches appearing makes the states
+	// not diffable), so a single regime flag fingerprints the base and
+	// describes the target.
+	PhasesDropped  int
+	DroppedMatched int
+	HybridFrontier bool
+
+	// NewPairs holds the matching entries appended since the base state;
+	// NewPhases the phase entries beyond the base window's end (the target
+	// window may also have evicted part of the base's — PhasesDropped says
+	// how far it slid).
 	NewPairs  []graph.Pair
 	NewPhases []PhaseStat
 
@@ -90,28 +103,49 @@ func DiffStates(base, cur *SessionState) (*StateDelta, error) {
 	if base.Seeds != cur.Seeds {
 		return nil, fmt.Errorf("%w: seed boundaries differ", ErrNotDiffable)
 	}
-	if len(cur.Pairs) < len(base.Pairs) || len(cur.Phases) < len(base.Phases) {
+	if len(cur.Pairs) < len(base.Pairs) {
 		return nil, fmt.Errorf("%w: target state is behind the base", ErrNotDiffable)
+	}
+	if base.HybridFrontier != cur.HybridFrontier {
+		return nil, fmt.Errorf("%w: hybrid regime changed", ErrNotDiffable)
 	}
 	for i, p := range base.Pairs {
 		if cur.Pairs[i] != p {
 			return nil, fmt.Errorf("%w: matching is not an append (pair %d changed)", ErrNotDiffable, i)
 		}
 	}
-	for i, ph := range base.Phases {
-		if cur.Phases[i] != ph {
-			return nil, fmt.Errorf("%w: phase log is not an append (entry %d changed)", ErrNotDiffable, i)
+	// The phase logs are bounded windows over the same append-only history;
+	// compare them in global coordinates. The target window may start later
+	// (eviction slid it) but must still cover everything the base's covers
+	// beyond its own start, with identical entries.
+	baseEnd := base.PhasesDropped + len(base.Phases)
+	curEnd := cur.PhasesDropped + len(cur.Phases)
+	if cur.PhasesDropped < base.PhasesDropped || curEnd < baseEnd ||
+		cur.DroppedMatched < base.DroppedMatched {
+		return nil, fmt.Errorf("%w: target state is behind the base", ErrNotDiffable)
+	}
+	for g := cur.PhasesDropped; g < baseEnd; g++ {
+		if cur.Phases[g-cur.PhasesDropped] != base.Phases[g-base.PhasesDropped] {
+			return nil, fmt.Errorf("%w: phase log is not an append (entry %d changed)", ErrNotDiffable, g)
 		}
 	}
+	newFrom := baseEnd - cur.PhasesDropped
+	if newFrom < 0 {
+		newFrom = 0 // the target window starts past the base's end entirely
+	}
 	d := &StateDelta{
-		BasePairs:      len(base.Pairs),
-		BasePhases:     len(base.Phases),
-		BaseSweeps:     base.Sweeps,
-		BaseNextBucket: base.NextBucket,
-		Sweeps:         cur.Sweeps,
-		NextBucket:     cur.NextBucket,
-		NewPairs:       append([]graph.Pair(nil), cur.Pairs[len(base.Pairs):]...),
-		NewPhases:      append([]PhaseStat(nil), cur.Phases[len(base.Phases):]...),
+		BasePairs:         len(base.Pairs),
+		BasePhases:        len(base.Phases),
+		BaseSweeps:        base.Sweeps,
+		BaseNextBucket:    base.NextBucket,
+		BasePhasesDropped: base.PhasesDropped,
+		Sweeps:            cur.Sweeps,
+		NextBucket:        cur.NextBucket,
+		PhasesDropped:     cur.PhasesDropped,
+		DroppedMatched:    cur.DroppedMatched,
+		HybridFrontier:    cur.HybridFrontier,
+		NewPairs:          append([]graph.Pair(nil), cur.Pairs[len(base.Pairs):]...),
+		NewPhases:         append([]PhaseStat(nil), cur.Phases[newFrom:]...),
 	}
 	switch {
 	case base.Frontier == nil && cur.Frontier == nil:
@@ -166,20 +200,36 @@ func ApplyDelta(base *SessionState, d *StateDelta) (*SessionState, error) {
 		return nil, errors.New("core: apply delta: nil argument")
 	}
 	if len(base.Pairs) != d.BasePairs || len(base.Phases) != d.BasePhases ||
-		base.Sweeps != d.BaseSweeps || base.NextBucket != d.BaseNextBucket {
-		return nil, fmt.Errorf("core: apply delta: base at position (pairs %d, phases %d, sweep %d.%d), delta expects (%d, %d, %d.%d)",
-			len(base.Pairs), len(base.Phases), base.Sweeps, base.NextBucket,
-			d.BasePairs, d.BasePhases, d.BaseSweeps, d.BaseNextBucket)
+		base.Sweeps != d.BaseSweeps || base.NextBucket != d.BaseNextBucket ||
+		base.PhasesDropped != d.BasePhasesDropped || base.HybridFrontier != d.HybridFrontier {
+		return nil, fmt.Errorf("core: apply delta: base at position (pairs %d, phases %d+%d, sweep %d.%d, hybrid %v), delta expects (%d, %d+%d, %d.%d, %v)",
+			len(base.Pairs), base.PhasesDropped, len(base.Phases), base.Sweeps, base.NextBucket, base.HybridFrontier,
+			d.BasePairs, d.BasePhasesDropped, d.BasePhases, d.BaseSweeps, d.BaseNextBucket, d.HybridFrontier)
+	}
+	if d.PhasesDropped < d.BasePhasesDropped {
+		return nil, fmt.Errorf("core: apply delta: phase window slides backwards (%d to %d)", d.BasePhasesDropped, d.PhasesDropped)
+	}
+	// Rebuild the target phase window in global coordinates: keep the part
+	// of the base window the target still covers, then the appended entries.
+	baseEnd := d.BasePhasesDropped + d.BasePhases
+	var phases []PhaseStat
+	if d.PhasesDropped >= baseEnd {
+		phases = appendCopy(nil, d.NewPhases)
+	} else {
+		phases = appendCopy(base.Phases[d.PhasesDropped-d.BasePhasesDropped:], d.NewPhases)
 	}
 	st := &SessionState{
-		Opts:       base.Opts,
-		N1:         base.N1,
-		N2:         base.N2,
-		Seeds:      base.Seeds,
-		Sweeps:     d.Sweeps,
-		NextBucket: d.NextBucket,
-		Pairs:      appendCopy(base.Pairs, d.NewPairs),
-		Phases:     appendCopy(base.Phases, d.NewPhases),
+		Opts:           base.Opts,
+		N1:             base.N1,
+		N2:             base.N2,
+		Seeds:          base.Seeds,
+		Sweeps:         d.Sweeps,
+		NextBucket:     d.NextBucket,
+		PhasesDropped:  d.PhasesDropped,
+		DroppedMatched: d.DroppedMatched,
+		HybridFrontier: d.HybridFrontier,
+		Pairs:          appendCopy(base.Pairs, d.NewPairs),
+		Phases:         phases,
 	}
 	switch {
 	case base.Frontier == nil && d.Frontier == nil:

@@ -15,6 +15,13 @@ type PhaseStat struct {
 	TotalL    int // |L| after the pass
 }
 
+// PhaseTotals aggregates a run's complete phase history, including entries
+// evicted from the bounded Phases window of a long-lived session.
+type PhaseTotals struct {
+	Buckets int // bucket passes ever run
+	Matched int // pairs accepted across all passes (seeds excluded)
+}
+
 // Result is the output of Reconcile.
 type Result struct {
 	// Pairs holds every link in L: the seeds first, then discoveries in the
@@ -24,8 +31,12 @@ type Result struct {
 	NewPairs []graph.Pair
 	// Seeds is the number of seed links the run started from.
 	Seeds int
-	// Phases records per-bucket progress.
+	// Phases records per-bucket progress. Sessions retain a bounded window
+	// (the most recent PhaseRetainSweeps sweeps); Totals carries what the
+	// window no longer shows.
 	Phases []PhaseStat
+	// Totals aggregates every bucket pass ever run, evicted ones included.
+	Totals PhaseTotals
 }
 
 // Reconcile runs User-Matching over the two observed networks and the seed

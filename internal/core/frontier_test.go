@@ -70,9 +70,11 @@ func TestFrontierMatchesSequential(t *testing.T) {
 }
 
 // resultsIdentical requires bit-identical results: same pairs in the same
-// discovery order and the same per-bucket phase statistics.
+// discovery order, the same per-bucket phase statistics (the retained
+// window), and the same cumulative totals.
 func resultsIdentical(a, b *Result) bool {
-	if len(a.Pairs) != len(b.Pairs) || len(a.Phases) != len(b.Phases) || a.Seeds != b.Seeds {
+	if len(a.Pairs) != len(b.Pairs) || len(a.Phases) != len(b.Phases) || a.Seeds != b.Seeds ||
+		a.Totals != b.Totals {
 		return false
 	}
 	for i := range a.Pairs {
@@ -288,14 +290,21 @@ func TestFrontierAddSeedsReactivates(t *testing.T) {
 // validation and its String form.
 func TestFrontierValidateAccepts(t *testing.T) {
 	o := DefaultOptions()
-	if o.Engine != EngineFrontier {
-		t.Fatalf("default engine = %v, want frontier", o.Engine)
+	if o.Engine != EngineHybrid {
+		t.Fatalf("default engine = %v, want hybrid", o.Engine)
 	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o.Engine = EngineFrontier
 	if err := o.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	if EngineFrontier.String() != "frontier" {
 		t.Fatalf("String() = %q", EngineFrontier.String())
+	}
+	if EngineHybrid.String() != "hybrid" {
+		t.Fatalf("String() = %q", EngineHybrid.String())
 	}
 	o.Engine = Engine(99)
 	if err := o.Validate(); err == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/sociograph/reconcile/internal/gen"
@@ -10,13 +11,16 @@ import (
 )
 
 // FuzzEngineEquivalence generates random reconciliation instances and option
-// combinations and asserts that all three engines — sequential reference,
-// parallel, frontier — produce bit-identical output: same pairs in the same
-// discovery order and the same phase statistics. It then drives the frontier
-// and sequential engines through an incremental schedule (run, ingest the
-// held-back seeds, run to convergence) and requires the final states to
-// agree, pinning the frontier's persistent caches and invalidation under
-// arbitrary option mixes.
+// combinations and asserts that all four engines — sequential reference,
+// parallel, frontier, hybrid — produce bit-identical output: same pairs in
+// the same discovery order and the same phase statistics. It then drives the
+// frontier, hybrid and sequential engines through an incremental schedule
+// (run, ingest the held-back seeds, run to convergence) and requires the
+// final states to agree, pinning the frontier's persistent caches and
+// invalidation and the hybrid's automatic regime handoff under arbitrary
+// option mixes. Finally it kills a run at a cfg-derived bucket boundary and
+// restores the exported state under a different engine — crossing the hybrid
+// switch point in both directions — and requires the finished run to match.
 //
 // Run the smoke corpus with the normal test suite, or explore with
 //
@@ -75,6 +79,67 @@ func FuzzEngineEquivalence(f *testing.F) {
 					workers, len(fr.Pairs), len(seq.Pairs), cfg, n)
 			}
 		}
+		if hy := run(EngineHybrid, 2); !resultsIdentical(seq, hy) {
+			t.Fatalf("hybrid diverges from sequential: %d vs %d pairs (cfg=%#x n=%d)",
+				len(hy.Pairs), len(seq.Pairs), cfg, n)
+		}
+
+		// Forced mid-run engine switch: kill a run at a cfg-derived bucket
+		// boundary, export, restore under another engine (mirroring the
+		// public restore mask), finish — still bit-identical. When the victim
+		// is hybrid this crosses its automatic switch point from both sides.
+		if total := len(seq.Phases); total > 1 {
+			engines := []Engine{EngineSequential, EngineParallel, EngineFrontier, EngineHybrid}
+			runAs := engines[int(cfg>>3)%len(engines)]
+			resumeAs := engines[int(cfg>>5)%len(engines)]
+			stop := 1 + int(seed>>13)%(total-1)
+			o := opts
+			o.Engine = runAs
+			s, err := NewSession(g1, g2, seeds, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			buckets := 0
+			s.SetProgress(func(PhaseEvent) {
+				buckets++
+				if buckets == stop {
+					cancel()
+				}
+			})
+			if _, err := s.RunContext(ctx, o.Iterations); err != context.Canceled {
+				t.Fatalf("victim err = %v, want context.Canceled", err)
+			}
+			cancel()
+			st := s.ExportState()
+			st.Opts.Engine = resumeAs
+			switch resumeAs {
+			case EngineFrontier:
+				st.HybridFrontier = false
+			case EngineHybrid:
+				if runAs != EngineHybrid {
+					st.HybridFrontier = st.InferHybridRegime()
+				}
+				if !st.HybridFrontier {
+					st.Frontier = nil
+				}
+			default:
+				st.HybridFrontier = false
+				st.Frontier = nil
+			}
+			restored, err := RestoreSession(g1, g2, st)
+			if err != nil {
+				t.Fatalf("%v->%v stop=%d: restore: %v", runAs, resumeAs, stop, err)
+			}
+			remaining := o.Iterations - restored.Sweeps()
+			if _, err := restored.RunContext(context.Background(), remaining); err != nil {
+				t.Fatal(err)
+			}
+			if got := restored.Result(); !resultsIdentical(seq, got) {
+				t.Fatalf("%v->%v stop=%d: switched run diverged: %d vs %d pairs (cfg=%#x n=%d)",
+					runAs, resumeAs, stop, len(got.Pairs), len(seq.Pairs), cfg, n)
+			}
+		}
 
 		// Incremental schedule: the same session workflow on both engines.
 		if len(seeds) < 2 {
@@ -100,13 +165,16 @@ func FuzzEngineEquivalence(f *testing.F) {
 			return s.Result(), errStr
 		}
 		seqInc, seqErr := incremental(EngineSequential)
-		frInc, frErr := incremental(EngineFrontier)
-		if seqErr != frErr {
-			t.Fatalf("incremental AddSeeds errors diverge: %q vs %q (cfg=%#x n=%d)", seqErr, frErr, cfg, n)
-		}
-		if !resultsIdentical(seqInc, frInc) {
-			t.Fatalf("incremental frontier diverges: %d vs %d pairs (cfg=%#x n=%d)",
-				len(frInc.Pairs), len(seqInc.Pairs), cfg, n)
+		for _, engine := range []Engine{EngineFrontier, EngineHybrid} {
+			inc, incErr := incremental(engine)
+			if seqErr != incErr {
+				t.Fatalf("incremental %v AddSeeds errors diverge: %q vs %q (cfg=%#x n=%d)",
+					engine, incErr, seqErr, cfg, n)
+			}
+			if !resultsIdentical(seqInc, inc) {
+				t.Fatalf("incremental %v diverges: %d vs %d pairs (cfg=%#x n=%d)",
+					engine, len(inc.Pairs), len(seqInc.Pairs), cfg, n)
+			}
 		}
 	})
 }

@@ -1,0 +1,138 @@
+package core
+
+// EngineHybrid regime control. The hybrid engine is a scheduling policy, not
+// a new algorithm: before the switch the session runs the parallel engine's
+// full scans, after it the frontier engine's incremental re-scoring. Both
+// produce bit-identical matchings (the engine-equivalence suites pin this),
+// so the switch decision influences performance only — a wrong regime is
+// slow, never wrong.
+//
+// The decision signal is the per-sweep commit rate, which the session already
+// tracks for the phase log: commits are what the frontier engine pays for
+// (every committed link invalidates its neighborhood on both sides), while
+// the parallel engine pays for graph size regardless. When the sweep commit
+// rate is high, frontier invalidation churn approaches a full rescan and the
+// cache maintenance makes it ~0.6x parallel; when it is low, frontier skips
+// almost all scoring work and wins by an order of magnitude.
+
+// hybridCrossoverRate is the per-sweep commit rate — pairs committed during
+// the sweep divided by the total node count n1+n2 — below which EngineHybrid
+// hands off to the frontier engine at the sweep boundary. The handoff is
+// one-way: commit rates decay as the matching converges (the algorithm is
+// monotone), and the frontier engine handles later seed bursts through its
+// own invalidation.
+//
+// Measured with BenchmarkHybridCrossover (internal/core/bench_test.go) on
+// the recording machine of BENCH_engines.json (linux/amd64, GOMAXPROCS=1,
+// go1.24, 2026-08-08). On the 2x20k-node preferential-attachment calibration
+// instance, per-sweep cost (parallel vs frontier, ns):
+//
+//	rate 0.241  35.4M vs 66.6M  (parallel 1.9x)
+//	rate 0.062  10.4M vs 12.2M  (parallel 1.2x)
+//	rate 0.012   6.1M vs  5.0M  (frontier 1.2x)
+//	rate 0.0023  5.2M vs  2.7M  (frontier 1.9x)
+//	rate 0.0006  5.0M vs  1.6M  (frontier 3.1x)
+//
+// The regimes trade places between observed rates 0.062 and 0.012. 0.02
+// makes the switch fire at the first sweep whose rate lands in frontier-won
+// territory (0.012 here) while staying 3x below the last parallel-won rate,
+// so commit-dense sweeps never trigger it: cold-batch sweeps on the recorded
+// workloads run at rates 0.05-0.3 until convergence, incremental AddSeeds
+// sweeps at <0.001. Firing a sweep earlier (crossover above 0.062) would pay
+// the all-dirty handoff rebuild while commits are still active; a sweep later
+// (below 0.012) forgoes a ~2x frontier win on the following sweep.
+const hybridCrossoverRate = 0.02
+
+// phaseRetainSweeps bounds the session's phase log: at every completed sweep
+// boundary, entries older than the most recent phaseRetainSweeps sweeps are
+// folded into the session's cumulative PhaseTotals and dropped. Eviction is
+// whole-sweep and purely position-driven, so an exported state at a given
+// schedule position holds the same window regardless of how many runs,
+// restores, or checkpoints led there — the resume-equivalence suites depend
+// on that. 16 sweeps is an order of magnitude more than the paper's k=2
+// schedule and comfortably covers every consumer (serve's live phase feed,
+// the hybrid regime decision, delta diffing between per-sweep checkpoints)
+// while keeping long-lived incremental sessions' checkpoints O(window), not
+// O(lifetime).
+const phaseRetainSweeps = 16
+
+// PhaseRetainSweeps is the phase-log retention window, exported for callers
+// that mirror the session's bounded log (cmd/serve's wire-phase feed).
+const PhaseRetainSweeps = phaseRetainSweeps
+
+// endSweep performs the bookkeeping owed at every completed sweep boundary:
+// the hybrid engine's regime decision and phase-log eviction. It must run at
+// sweep completions and nowhere else — both effects are position-driven and
+// exported state must not depend on run history.
+func (s *Session) endSweep() {
+	if s.opts.Engine == EngineHybrid && !s.hybridSwitched &&
+		float64(s.sweepMatched) < hybridCrossoverRate*float64(s.g1.NumNodes()+s.g2.NumNodes()) {
+		// Record the decision only; the frontier state is built lazily when
+		// the next bucket actually runs, so a run that ends here pays
+		// nothing, and a kill/restore at this exact boundary rebuilds the
+		// identical state from the matching (the cross-engine restore path).
+		s.hybridSwitched = true
+	}
+	s.evictPhases()
+}
+
+// ensureHybridFrontier builds the frontier state for a hybrid session that
+// has decided to switch but not yet run a bucket in the new regime. Building
+// from the live matching queues every node once, exactly like a cross-engine
+// restore, so the first frontier sweep re-scores each node once and the
+// output is bit-identical to having run any fixed engine throughout.
+func (s *Session) ensureHybridFrontier() {
+	if s.hybridSwitched && s.fr == nil {
+		s.fr = newFrontierState(s.g1, s.g2, s.m, s.lc, s.opts)
+	}
+}
+
+// evictPhases drops phase-log entries older than the retention window,
+// folding them into the cumulative totals. Called at completed sweep
+// boundaries only, so the log always starts at a sweep boundary and the
+// evicted prefix is a whole number of sweeps.
+func (s *Session) evictPhases() {
+	minIter := s.sweeps - phaseRetainSweeps + 1
+	if minIter <= 1 {
+		return
+	}
+	cut := 0
+	for cut < len(s.phases) && s.phases[cut].Iteration < minIter {
+		s.dropped.Buckets++
+		s.dropped.Matched += s.phases[cut].Matched
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	s.phases = append(s.phases[:0], s.phases[cut:]...)
+}
+
+// InferHybridRegime returns the regime EngineHybrid would run at the state's
+// schedule position, judged from the recorded commit history: true (frontier)
+// when the last completed sweep's commit rate is below the crossover, false
+// (parallel) when it is above or when no completed sweep is in the log. It
+// exists for restores that switch a fixed-engine state onto the hybrid
+// engine, where no regime was recorded — resuming a converged run in the
+// parallel regime would be correct but slow, so the restore path derives the
+// regime from the history instead of always starting parallel.
+func (st *SessionState) InferHybridRegime() bool {
+	last := st.Sweeps
+	if st.NextBucket > 0 {
+		last--
+	}
+	if last < 1 {
+		return false
+	}
+	matched, seen := 0, false
+	for _, ph := range st.Phases {
+		if ph.Iteration == last {
+			matched += ph.Matched
+			seen = true
+		}
+	}
+	if !seen {
+		return false
+	}
+	return float64(matched) < hybridCrossoverRate*float64(st.N1+st.N2)
+}

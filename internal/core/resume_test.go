@@ -53,7 +53,7 @@ func finishSchedule(t *testing.T, s *Session, sweeps int) {
 // the uninterrupted whole".
 func TestResumeEquivalence(t *testing.T) {
 	g1, g2, seeds := testInstance(5, 400)
-	for _, engine := range []Engine{EngineSequential, EngineParallel, EngineFrontier} {
+	for _, engine := range []Engine{EngineSequential, EngineParallel, EngineFrontier, EngineHybrid} {
 		t.Run(engine.String(), func(t *testing.T) {
 			opts := DefaultOptions()
 			opts.Engine = engine
@@ -118,6 +118,11 @@ func TestResumeEquivalenceCrossEngine(t *testing.T) {
 		{"frontier to sequential", EngineFrontier, EngineSequential},
 		{"sequential to frontier", EngineSequential, EngineFrontier},
 		{"parallel to frontier", EngineParallel, EngineFrontier},
+		{"hybrid to frontier", EngineHybrid, EngineFrontier},
+		{"hybrid to sequential", EngineHybrid, EngineSequential},
+		{"frontier to hybrid", EngineFrontier, EngineHybrid},
+		{"parallel to hybrid", EngineParallel, EngineHybrid},
+		{"sequential to hybrid", EngineSequential, EngineHybrid},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			for stop := 1; stop < totalBuckets; stop++ {
@@ -126,10 +131,24 @@ func TestResumeEquivalenceCrossEngine(t *testing.T) {
 				victim := runToBoundary(t, g1, g2, seeds, o, o.Iterations, stop)
 				st := victim.ExportState()
 				st.Opts.Engine = tc.resumeAs
-				if tc.resumeAs != EngineFrontier {
-					st.Frontier = nil
-				} else if tc.runAs != EngineFrontier {
+				// Mirror the public restore mask (restoreReconciler): the
+				// frontier engine keeps or rebuilds caches, the hybrid engine
+				// derives its regime from the commit history, fixed scan
+				// engines drop both.
+				switch tc.resumeAs {
+				case EngineFrontier:
+					st.HybridFrontier = false
 					st.Frontier = nil // force the rebuild path explicitly
+				case EngineHybrid:
+					if tc.runAs != EngineHybrid {
+						st.HybridFrontier = st.InferHybridRegime()
+					}
+					if !st.HybridFrontier {
+						st.Frontier = nil
+					}
+				default:
+					st.HybridFrontier = false
+					st.Frontier = nil
 				}
 				restored, err := RestoreSession(g1, g2, st)
 				if err != nil {
@@ -189,6 +208,7 @@ func TestResumeMidSweepContinuation(t *testing.T) {
 func TestRestoreSessionRejectsInvalidState(t *testing.T) {
 	g1, g2, seeds := testInstance(19, 200)
 	opts := DefaultOptions()
+	opts.Engine = EngineFrontier // the frontier-cache corruptions below need caches present
 	s, err := NewSession(g1, g2, seeds, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -250,6 +270,23 @@ func TestRestoreSessionRejectsInvalidState(t *testing.T) {
 		}
 	})
 	check("negative rescored counter", func(st *SessionState) { st.Frontier.Rescored = -1 })
+	check("negative evicted-phase count", func(st *SessionState) { st.PhasesDropped = -1 })
+	check("negative evicted-match count", func(st *SessionState) { st.DroppedMatched = -1 })
+	check("evicted prefix not whole sweeps", func(st *SessionState) {
+		// Pretend one extra entry was evicted: the count stops being a
+		// multiple of the schedule length and disagrees with the position.
+		st.PhasesDropped++
+		st.Phases = st.Phases[1:]
+	})
+	check("evicted prefix overstates position", func(st *SessionState) {
+		st.PhasesDropped += len(st.Opts.buckets(g1, g2))
+	})
+	check("hybrid flag under fixed engine", func(st *SessionState) { st.HybridFrontier = true })
+	check("hybrid parallel regime with caches", func(st *SessionState) {
+		st.Opts.Engine = EngineHybrid
+		st.HybridFrontier = false
+		// keep st.Frontier: caches without the frontier regime are inconsistent
+	})
 }
 
 // TestExportStateIsDeepCopy ensures a snapshot is immune to the session

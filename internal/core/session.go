@@ -29,15 +29,27 @@ type PhaseEvent struct {
 // would eventually find (the algorithm is monotone: links are never
 // retracted).
 type Session struct {
-	g1, g2   *graph.Graph
-	opts     Options
-	m        *Matching
-	lc       *linkedCounts
-	fr       *frontierState // persistent scheduling state, EngineFrontier only
-	phases   []PhaseStat
-	sweeps   int
-	pos      int // next bucket index within the current sweep; 0 = sweep boundary
-	progress func(PhaseEvent)
+	g1, g2 *graph.Graph
+	opts   Options
+	m      *Matching
+	lc     *linkedCounts
+	// fr is the frontier engine's persistent scheduling state: non-nil for
+	// EngineFrontier always, and for EngineHybrid once the session has
+	// switched regimes and run a bucket on the frontier engine.
+	fr     *frontierState
+	phases []PhaseStat
+	// dropped aggregates the phase entries evicted from the bounded log
+	// (see evictPhases); phases plus dropped is the complete history.
+	dropped PhaseTotals
+	sweeps  int
+	pos     int // next bucket index within the current sweep; 0 = sweep boundary
+	// sweepMatched counts the pairs committed in the current sweep — the
+	// hybrid engine's regime signal, reset when a sweep is claimed.
+	sweepMatched int
+	// hybridSwitched records EngineHybrid's one-way handoff decision; the
+	// frontier state itself is built lazily at the next bucket.
+	hybridSwitched bool
+	progress       func(PhaseEvent)
 }
 
 // NewSession prepares an incremental matcher over the two networks with the
@@ -132,7 +144,9 @@ func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 		if s.pos == 0 {
 			s.sweeps++
 			remaining--
+			s.sweepMatched = 0
 		}
+		s.ensureHybridFrontier()
 		bi := s.pos
 		minDeg := buckets[bi]
 		var matched int
@@ -146,12 +160,16 @@ func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 			s.pos = 0
 		}
 		found += matched
+		s.sweepMatched += matched
 		s.phases = append(s.phases, PhaseStat{
 			Iteration: s.sweeps,
 			MinDegree: minDeg,
 			Matched:   matched,
 			TotalL:    s.m.Len(),
 		})
+		if s.pos == 0 {
+			s.endSweep()
+		}
 		if s.progress != nil {
 			s.progress(PhaseEvent{
 				Iteration:  s.sweeps,
@@ -203,10 +221,16 @@ func (s *Session) Len() int { return s.m.Len() }
 
 // Result snapshots the session as a Result (same layout as Reconcile's).
 func (s *Session) Result() *Result {
+	t := s.dropped
+	t.Buckets += len(s.phases)
+	for _, ph := range s.phases {
+		t.Matched += ph.Matched
+	}
 	return &Result{
 		Pairs:    s.m.Pairs(),
 		NewPairs: s.m.NewPairs(),
 		Seeds:    s.m.SeedCount(),
 		Phases:   append([]PhaseStat(nil), s.phases...),
+		Totals:   t,
 	}
 }

@@ -35,12 +35,26 @@ type SessionState struct {
 	Sweeps     int
 	NextBucket int
 
-	// Phases is the per-bucket progress log (one entry per bucket ever run).
-	Phases []PhaseStat
+	// Phases is the bounded per-bucket progress log: the most recent
+	// PhaseRetainSweeps sweeps. PhasesDropped counts the evicted older
+	// entries (always a whole number of sweeps) and DroppedMatched the pairs
+	// they accepted, so PhasesDropped+len(Phases) is the total number of
+	// bucket passes ever run.
+	Phases         []PhaseStat
+	PhasesDropped  int
+	DroppedMatched int
 
-	// Frontier is the frontier engine's persistent state; nil for the other
-	// engines (and allowed to be nil for EngineFrontier, in which case
-	// restore rebuilds an equivalent state from the matching).
+	// HybridFrontier records EngineHybrid's regime at export: false while
+	// still in the parallel regime, true once the session has decided to
+	// hand off to the frontier engine. Always false for fixed engines.
+	HybridFrontier bool
+
+	// Frontier is the frontier engine's persistent state; nil for the
+	// parallel and sequential engines and for EngineHybrid's parallel
+	// regime. It may be nil for EngineFrontier — or for EngineHybrid with
+	// HybridFrontier set, e.g. exported between the regime decision and the
+	// first frontier bucket — in which case restore rebuilds an equivalent
+	// state from the matching.
 	Frontier *FrontierSnapshot
 }
 
@@ -72,14 +86,17 @@ type FrontierSideSnapshot struct {
 // runs synchronously between buckets on the run's own goroutine).
 func (s *Session) ExportState() *SessionState {
 	st := &SessionState{
-		Opts:       s.opts,
-		N1:         s.g1.NumNodes(),
-		N2:         s.g2.NumNodes(),
-		Pairs:      s.m.Pairs(),
-		Seeds:      s.m.SeedCount(),
-		Sweeps:     s.sweeps,
-		NextBucket: s.pos,
-		Phases:     append([]PhaseStat(nil), s.phases...),
+		Opts:           s.opts,
+		N1:             s.g1.NumNodes(),
+		N2:             s.g2.NumNodes(),
+		Pairs:          s.m.Pairs(),
+		Seeds:          s.m.SeedCount(),
+		Sweeps:         s.sweeps,
+		NextBucket:     s.pos,
+		Phases:         append([]PhaseStat(nil), s.phases...),
+		PhasesDropped:  s.dropped.Buckets,
+		DroppedMatched: s.dropped.Matched,
+		HybridFrontier: s.opts.Engine == EngineHybrid && s.hybridSwitched,
 	}
 	if s.fr != nil {
 		st.Frontier = s.fr.export()
@@ -131,50 +148,79 @@ func RestoreSession(g1, g2 *graph.Graph, st *SessionState) (*Session, error) {
 		return nil, errors.New("core: restore: mid-sweep position without a started sweep")
 	}
 	// Every sweep runs the full schedule in order, so the phase log length
-	// and per-entry schedule fields are determined by the position.
+	// and per-entry schedule fields are determined by the position. The log
+	// is a bounded window; the evicted prefix is whole sweeps only.
 	ran := st.Sweeps * len(buckets)
 	if st.NextBucket > 0 {
 		ran = (st.Sweeps-1)*len(buckets) + st.NextBucket
 	}
-	if len(st.Phases) != ran {
-		return nil, fmt.Errorf("core: restore: phase log has %d entries, schedule position implies %d", len(st.Phases), ran)
+	if st.PhasesDropped < 0 || st.DroppedMatched < 0 {
+		return nil, fmt.Errorf("core: restore: negative evicted-phase totals (%d entries, %d matched)", st.PhasesDropped, st.DroppedMatched)
+	}
+	if st.PhasesDropped%len(buckets) != 0 {
+		return nil, fmt.Errorf("core: restore: evicted phase prefix of %d entries is not whole sweeps of %d buckets", st.PhasesDropped, len(buckets))
+	}
+	if st.PhasesDropped+len(st.Phases) != ran {
+		return nil, fmt.Errorf("core: restore: phase log has %d+%d entries, schedule position implies %d", st.PhasesDropped, len(st.Phases), ran)
 	}
 	prevTotal := 0
 	for i, ph := range st.Phases {
-		if ph.Iteration != i/len(buckets)+1 || ph.MinDegree != buckets[i%len(buckets)] {
-			return nil, fmt.Errorf("core: restore: phase %d (%+v) disagrees with the bucket schedule", i, ph)
+		gi := st.PhasesDropped + i
+		if ph.Iteration != gi/len(buckets)+1 || ph.MinDegree != buckets[gi%len(buckets)] {
+			return nil, fmt.Errorf("core: restore: phase %d (%+v) disagrees with the bucket schedule", gi, ph)
 		}
 		if ph.Matched < 0 || ph.TotalL < prevTotal {
-			return nil, fmt.Errorf("core: restore: phase %d (%+v) not monotone", i, ph)
+			return nil, fmt.Errorf("core: restore: phase %d (%+v) not monotone", gi, ph)
 		}
 		prevTotal = ph.TotalL
 	}
 	if prevTotal > m.Len() {
 		return nil, fmt.Errorf("core: restore: phase log reaches %d links, matching has %d", prevTotal, m.Len())
 	}
+	if st.HybridFrontier && st.Opts.Engine != EngineHybrid {
+		return nil, fmt.Errorf("core: restore: hybrid regime flag set under fixed engine %v", st.Opts.Engine)
+	}
+	if st.Opts.Engine == EngineHybrid && !st.HybridFrontier && st.Frontier != nil {
+		return nil, errors.New("core: restore: frontier caches present but hybrid state is in the parallel regime")
+	}
 
 	s := &Session{
-		g1:     g1,
-		g2:     g2,
-		opts:   st.Opts,
-		m:      m,
-		lc:     newLinkedCounts(g1, g2, m),
-		phases: append([]PhaseStat(nil), st.Phases...),
-		sweeps: st.Sweeps,
-		pos:    st.NextBucket,
+		g1:             g1,
+		g2:             g2,
+		opts:           st.Opts,
+		m:              m,
+		lc:             newLinkedCounts(g1, g2, m),
+		phases:         append([]PhaseStat(nil), st.Phases...),
+		dropped:        PhaseTotals{Buckets: st.PhasesDropped, Matched: st.DroppedMatched},
+		sweeps:         st.Sweeps,
+		pos:            st.NextBucket,
+		hybridSwitched: st.HybridFrontier,
 	}
-	if st.Opts.Engine == EngineFrontier {
+	if st.NextBucket > 0 {
+		// Rebuild the current sweep's commit counter from the retained log
+		// (the window always covers the sweep in progress), so a hybrid
+		// session restored mid-sweep makes the same regime decision at the
+		// sweep's end as the uninterrupted run.
+		for _, ph := range s.phases[len(s.phases)-st.NextBucket:] {
+			s.sweepMatched += ph.Matched
+		}
+	}
+	wantFrontier := st.Opts.Engine == EngineFrontier ||
+		(st.Opts.Engine == EngineHybrid && st.HybridFrontier)
+	if wantFrontier {
 		if st.Frontier != nil {
 			fr, err := restoreFrontier(g1, g2, st.Opts, st.Frontier)
 			if err != nil {
 				return nil, err
 			}
 			s.fr = fr
-		} else {
+		} else if st.Opts.Engine == EngineFrontier {
 			// No serialized frontier state (e.g. an engine switch at restore):
 			// a fresh initialization is equivalent — every node that could
 			// propose is queued, and re-scoring a clean node reproduces its
-			// cached row, so only the scheduling-work counter differs.
+			// cached row, so only the scheduling-work counter differs. A
+			// hybrid session in the frontier regime takes the same rebuild
+			// lazily at its next bucket (ensureHybridFrontier).
 			s.fr = newFrontierState(g1, g2, m, s.lc, st.Opts)
 		}
 	}

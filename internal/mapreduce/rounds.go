@@ -88,6 +88,8 @@ func Reconcile(g1, g2 *graph.Graph, seeds []graph.Pair, opts core.Options) (*cor
 				Matched:   len(matches),
 				TotalL:    m.Len(),
 			})
+			res.Totals.Buckets++
+			res.Totals.Matched += len(matches)
 		}
 	}
 	res.Pairs = m.Pairs()

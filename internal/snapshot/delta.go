@@ -27,9 +27,9 @@ func WriteDelta(w io.Writer, d *core.StateDelta) error {
 // ReadDelta reads a delta record written by WriteDelta.
 func ReadDelta(r io.Reader) (*core.StateDelta, error) {
 	var d *core.StateDelta
-	err := read(r, kindDelta, func(er *reader) error {
+	err := read(r, kindDelta, func(er *reader, v uint64) error {
 		var derr error
-		d, derr = decodeDelta(er)
+		d, derr = decodeDelta(er, v)
 		return derr
 	})
 	if err != nil {
@@ -57,11 +57,39 @@ func deltaPositions(d *core.StateDelta) []struct {
 	}
 }
 
+// deltaWindowFields flattens the version-2 phase-window scalars into wire
+// order, shared by encode and decode so the two cannot drift.
+func deltaWindowFields(d *core.StateDelta) []struct {
+	v    *int
+	what string
+} {
+	return []struct {
+		v    *int
+		what string
+	}{
+		{&d.BasePhasesDropped, "base evicted phase count"},
+		{&d.PhasesDropped, "evicted phase count"},
+		{&d.DroppedMatched, "evicted match count"},
+	}
+}
+
 func encodeDelta(w *writer, d *core.StateDelta) error {
 	for _, f := range deltaPositions(d) {
 		if err := w.uint(*f.v, f.what); err != nil {
 			return err
 		}
+	}
+	for _, f := range deltaWindowFields(d) {
+		if err := w.uint(*f.v, f.what); err != nil {
+			return err
+		}
+	}
+	hybrid := byte(0)
+	if d.HybridFrontier {
+		hybrid = 1
+	}
+	if err := w.byte(hybrid); err != nil {
+		return err
 	}
 	if err := w.uint(len(d.NewPairs), "new pair count"); err != nil {
 		return err
@@ -162,7 +190,7 @@ func encodeDelta(w *writer, d *core.StateDelta) error {
 	return nil
 }
 
-func decodeDelta(r *reader) (*core.StateDelta, error) {
+func decodeDelta(r *reader, version uint64) (*core.StateDelta, error) {
 	d := &core.StateDelta{}
 	for _, f := range deltaPositions(d) {
 		v, err := r.uint(f.what)
@@ -170,6 +198,25 @@ func decodeDelta(r *reader) (*core.StateDelta, error) {
 			return nil, err
 		}
 		*f.v = v
+	}
+	if version >= 2 {
+		// Version 1 predates the bounded phase log and the hybrid engine;
+		// see decodeState.
+		for _, f := range deltaWindowFields(d) {
+			v, err := r.uint(f.what)
+			if err != nil {
+				return nil, err
+			}
+			*f.v = v
+		}
+		hybrid, err := r.byte("delta hybrid regime flag")
+		if err != nil {
+			return nil, err
+		}
+		if hybrid > 1 {
+			return nil, fmt.Errorf("snapshot: decode delta hybrid regime flag: bad value %d", hybrid)
+		}
+		d.HybridFrontier = hybrid == 1
 	}
 	nPairs, err := r.uint("new pair count")
 	if err != nil {

@@ -54,12 +54,14 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		if cfg&0x80 != 0 {
 			opts.Scoring = core.ScoreAdamicAdar
 		}
-		switch (cfg >> 8) % 3 {
+		switch (cfg >> 8) % 4 {
 		case 1:
 			opts.Engine = core.EngineSequential
 		case 2:
 			opts.Engine = core.EngineParallel
-		}
+		case 3:
+			opts.Engine = core.EngineFrontier
+		} // case 0 keeps the default (hybrid)
 
 		s, err := core.NewSession(g1, g2, seeds, opts)
 		if err != nil {

@@ -71,7 +71,7 @@ func stateEqual(a, b *core.SessionState) bool {
 }
 
 func TestFullRoundTrip(t *testing.T) {
-	for _, engine := range []core.Engine{core.EngineSequential, core.EngineParallel, core.EngineFrontier} {
+	for _, engine := range []core.Engine{core.EngineSequential, core.EngineParallel, core.EngineFrontier, core.EngineHybrid} {
 		t.Run(engine.String(), func(t *testing.T) {
 			opts := core.DefaultOptions()
 			opts.Engine = engine

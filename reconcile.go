@@ -103,6 +103,11 @@ type Options = core.Options
 // links, and per-phase statistics.
 type Result = core.Result
 
+// PhaseRetainSweeps is how many of the most recent sweeps keep per-bucket
+// entries in Result.Phases; older sweeps are folded into Result.Totals so a
+// long-lived incremental session's phase log stays bounded.
+const PhaseRetainSweeps = core.PhaseRetainSweeps
+
 // Engine selects the matcher's execution strategy.
 type Engine = core.Engine
 
@@ -133,16 +138,21 @@ type NoisyCopyParams = sampling.NoisyCopyParams
 
 // Execution, tie-break and scoring policies (see core.Options).
 //
-// EngineFrontier — the default — re-scores only nodes whose scoring inputs
-// changed since their last scoring (the dirty frontier around freshly
-// committed links), caching per-bucket proposals across passes.
-// EngineParallel re-scans all candidates every pass with a goroutine pool;
-// EngineSequential is the single-threaded reference. All three produce
-// bit-identical matchings for every option combination.
+// EngineHybrid — the default — starts on the parallel engine, where the
+// commit-dense early sweeps are cheapest, and hands off to the frontier
+// engine once the observed per-sweep commit rate drops below the measured
+// crossover, so converged and incremental phases stop rescanning the whole
+// node set. EngineFrontier re-scores only nodes whose scoring inputs changed
+// since their last scoring (the dirty frontier around freshly committed
+// links), caching per-bucket proposals across passes. EngineParallel
+// re-scans all candidates every pass with a goroutine pool; EngineSequential
+// is the single-threaded reference. All four produce bit-identical matchings
+// for every option combination — the engine is purely a scheduling choice.
 const (
 	EngineParallel    = core.EngineParallel
 	EngineSequential  = core.EngineSequential
 	EngineFrontier    = core.EngineFrontier
+	EngineHybrid      = core.EngineHybrid
 	TieReject         = core.TieReject
 	TieLowestID       = core.TieLowestID
 	ScoreWitnessCount = core.ScoreWitnessCount
@@ -260,15 +270,16 @@ func CorruptSeeds(r *Rand, seeds []Pair, n2 int, flip float64) []Pair {
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
-// experiments (T=2, two sweeps, bucketing to degree 2) on the frontier
+// experiments (T=2, two sweeps, bucketing to degree 2) on the hybrid
 // engine.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Reconcile runs User-Matching over the two observed networks and the seed
 // links, returning the expanded identification. Deterministic for fixed
-// inputs and options. For one-shot dense batch runs — the frontier engine's
-// degenerate case — set opts.Engine = EngineParallel (see "Choosing an
-// engine" in README.md); the result is identical either way.
+// inputs and options. The default hybrid engine adapts to the workload —
+// parallel scans while commits are dense, frontier scheduling once they
+// thin out — so one-shot batch and incremental runs alike need no engine
+// tuning (see "Choosing an engine" in README.md to pin a fixed engine).
 //
 // Deprecated: use New with WithSeeds and WithOptions (or the individual
 // With functions), then Run — which adds context cancellation, incremental

@@ -46,9 +46,12 @@ func WithThreshold(t int) Option { return func(s *settings) { s.opts.Threshold =
 // (default 2).
 func WithIterations(k int) Option { return func(s *settings) { s.opts.Iterations = k } }
 
-// WithEngine selects the execution strategy (default EngineFrontier, the
-// incremental scheduler; EngineParallel and EngineSequential re-scan all
-// candidates every pass). All engines produce bit-identical matchings.
+// WithEngine selects the execution strategy (default EngineHybrid, which
+// runs parallel scans while commits are dense and switches to the frontier
+// scheduler once the per-sweep commit rate drops below the measured
+// crossover; EngineFrontier is the pure incremental scheduler,
+// EngineParallel and EngineSequential re-scan all candidates every pass).
+// All engines produce bit-identical matchings.
 func WithEngine(e Engine) Option { return func(s *settings) { s.opts.Engine = e } }
 
 // WithScoring selects the candidate ranking function (default

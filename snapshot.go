@@ -68,8 +68,10 @@ func (r *Reconciler) Resume(ctx context.Context) (*Result, error) {
 // Reconciler mid-schedule. Options may adjust execution without touching
 // matching semantics:
 //
-//   - WithEngine switches engines — all three resume bit-identically (the
-//     frontier's caches are rebuilt when switching into it);
+//   - WithEngine switches engines — all four resume bit-identically (the
+//     frontier's caches are rebuilt when switching into it; restoring as
+//     hybrid infers which regime the run is in from the recorded commit
+//     history);
 //   - WithWorkers and WithIterations re-tune execution;
 //   - WithProgress re-installs a progress hook (hooks do not serialize);
 //   - WithSeeds ingests new trusted links, exactly like AddSeeds after
@@ -112,8 +114,25 @@ func restoreReconciler(g1, g2 *Graph, st *core.SessionState, opts []Option) (*Re
 	if masked != s.opts {
 		return nil, fmt.Errorf("reconcile: restore options may change engine, workers and iterations only; matching semantics (threshold, scoring, ties, margin, bucket schedule) come from the snapshot")
 	}
-	if s.opts.Engine != core.EngineFrontier {
+	switch s.opts.Engine {
+	case core.EngineFrontier:
+		// The fixed frontier engine keeps whatever caches the snapshot holds
+		// (absent ones are rebuilt from the matching); the hybrid regime flag
+		// is meaningful only under EngineHybrid.
+		st.HybridFrontier = false
+	case core.EngineHybrid:
+		// Hybrid must resume in the regime the run had earned, not restart
+		// parallel: a snapshot from a fixed engine carries no flag, so derive
+		// it from the recorded commit history.
+		if st.Opts.Engine != core.EngineHybrid {
+			st.HybridFrontier = st.InferHybridRegime()
+		}
+		if !st.HybridFrontier {
+			st.Frontier = nil // parallel regime holds no caches
+		}
+	default:
 		st.Frontier = nil // switching away from the frontier drops its caches
+		st.HybridFrontier = false
 	}
 	st.Opts = s.opts
 	sess, err := core.RestoreSession(g1, g2, st)
