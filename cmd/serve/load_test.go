@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/sociograph/reconcile/internal/loadgen"
+	"github.com/sociograph/reconcile/internal/tenant"
+)
+
+// runLoad builds a stored server with the given run-slot capacity and
+// drives one loadgen scenario against it over real HTTP.
+func runLoad(tb testing.TB, runSlots int, cfg loadgen.Config) *loadgen.Report {
+	tb.Helper()
+	st, err := newStore(tb.TempDir(), testStoreConfig)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, skipped := newServerWith(st, serverConfig{registry: tenant.NewRegistry(), runSlots: runSlots})
+	for _, err := range skipped {
+		tb.Errorf("restore skipped a job: %v", err)
+	}
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cfg.BaseURL = ts.URL
+	cfg.Client = ts.Client()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		tb.Fatalf("loadgen: %v", err)
+	}
+	for _, f := range rep.Failures {
+		tb.Errorf("loadgen failure: %s", f)
+	}
+	for _, v := range rep.Invariants {
+		tb.Errorf("invariant violation: %s", v)
+	}
+	return rep
+}
+
+// TestLoadgenSmoke runs a small mixed scenario end to end — every job
+// shape, the admin registration path, and the end-of-run invariant checks.
+// Fast enough for -short; CI's bench-smoke lane runs it before gating the
+// serve baseline.
+func TestLoadgenSmoke(t *testing.T) {
+	rep := runLoad(t, 4, loadgen.Config{
+		Scenario:      "mixed",
+		Tenants:       2,
+		JobsPerTenant: 4,
+		Workers:       4,
+		Nodes:         24,
+		Seed:          7,
+	})
+	if rep.JobsSubmitted != 8 || rep.JobsDone != 8 {
+		t.Fatalf("submitted %d done %d, want 8/8", rep.JobsSubmitted, rep.JobsDone)
+	}
+	// mixed over 4 jobs/tenant covers every shape once per tenant.
+	if rep.JobsDeleted != 2 {
+		t.Fatalf("deleted %d jobs, want 2", rep.JobsDeleted)
+	}
+	if rep.Latency["submit"].Count != 8 || rep.Latency["job"].Count != 8 {
+		t.Fatalf("latency counts submit=%d job=%d, want 8/8",
+			rep.Latency["submit"].Count, rep.Latency["job"].Count)
+	}
+}
+
+// TestLoadSustained is the load harness acceptance run: 1,000 concurrent
+// job lifecycles across 8 tenants squeezed through 16 run slots, then the
+// admin API must report zero leaked slots, zero queued runs, and exact
+// byte-accounting agreement for every tenant.
+func TestLoadSustained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained load run skipped in -short")
+	}
+	rep := runLoad(t, 16, loadgen.Config{
+		Scenario:      "mixed",
+		Tenants:       8,
+		JobsPerTenant: 125,
+		Workers:       125, // one worker per job: all 1,000 lifecycles in flight at once
+		Nodes:         16,
+		Seed:          11,
+	})
+	if rep.JobsSubmitted != 1000 || rep.JobsDone != 1000 {
+		t.Fatalf("submitted %d done %d, want 1000/1000", rep.JobsSubmitted, rep.JobsDone)
+	}
+}
+
+// BenchmarkServeLoadMixed times one mixed loadgen scenario against a fresh
+// stored server per iteration — the serve stack's end-to-end figure
+// (HTTP, scheduling, engine runs, durable writes) gated by
+// BENCH_serve.json in CI.
+func BenchmarkServeLoadMixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := runLoad(b, 8, loadgen.Config{
+			Scenario:      "mixed",
+			Tenants:       4,
+			JobsPerTenant: 8,
+			Workers:       8,
+			Nodes:         32,
+			Seed:          3,
+		})
+		if rep.JobsDone != 32 {
+			b.Fatalf("done %d, want 32", rep.JobsDone)
+		}
+	}
+}

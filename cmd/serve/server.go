@@ -109,6 +109,7 @@ type job struct {
 	links          int
 	deleted        bool           // DELETE in progress: no handler or persist may touch it again
 	wantCheckpoint bool           // one-shot: checkpoint at the next phase boundary
+	frontier       bool           // last observed hybrid regime (frontier = true)
 	pending        sync.WaitGroup // run goroutine in flight (tests wait on it)
 }
 
@@ -144,10 +145,16 @@ func (j *job) persistLocked() error {
 	return err
 }
 
-// view snapshots the job for JSON rendering.
+// view snapshots the job for JSON rendering. The lock covers only the
+// bookkeeping copies and one bulk pair snapshot; the per-pair wire
+// conversion (and the caller's JSON marshal) runs outside j.mu, so a
+// million-link ?pairs=1 read no longer stalls the run goroutine's progress
+// hook and checkpoint path for its duration. The snapshot must still be
+// taken under the lock: an addSeeds can restart the run (and with it the
+// only goroutine allowed to drive the Reconciler) the moment it is
+// released.
 func (j *job) view(includePairs bool) jobView {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	v := jobView{
 		ID:     j.id,
 		Status: j.status,
@@ -157,8 +164,14 @@ func (j *job) view(includePairs bool) jobView {
 		Phases: append([]phaseJSON(nil), j.phases...),
 		Error:  j.errMsg,
 	}
+	var pairs []reconcile.Pair
 	if includePairs && j.status != statusRunning {
-		for _, p := range j.rec.Result().Pairs {
+		pairs = j.rec.Result().Pairs // Result materializes a fresh copy
+	}
+	j.mu.Unlock()
+	if pairs != nil {
+		v.Pairs = make([][2]int, 0, len(pairs))
+		for _, p := range pairs {
 			v.Pairs = append(v.Pairs, [2]int{int(p.Left), int(p.Right)})
 		}
 	}
@@ -199,6 +212,7 @@ type server struct {
 	store        *store // nil: jobs live in RAM only
 	reg          *tenant.Registry
 	sched        *tenant.Scheduler
+	metrics      *serveMetrics
 	adminToken   string
 	maxBodyBytes int64
 
@@ -240,6 +254,7 @@ func newServerWith(st *store, cfg serverConfig) (*server, []error) {
 		maxBodyBytes: cfg.maxBodyBytes,
 		tenants:      make(map[string]*tenantJobs),
 	}
+	s.metrics = newServeMetrics(s)
 	for _, t := range reg.All() {
 		s.tenantTable(t.Name())
 		if st != nil {
@@ -286,6 +301,9 @@ func newServerWith(st *store, cfg serverConfig) (*server, []error) {
 			continue
 		}
 		j.rec = rec
+		// A state restored past the hybrid handoff must not count a switch
+		// on its first phase event: the switch happened in a previous life.
+		j.frontier = rec.FrontierActive()
 		// The replayed chain is the durable truth (each record lands before
 		// its meta, so a crash between the two renames leaves the meta one
 		// phase batch behind); rebuild the wire counters and phase log from
@@ -375,6 +393,13 @@ func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
 			}
 		}
 		j.links = e.TotalLinks
+		// The hook runs on the run goroutine between buckets — the one place
+		// session state is readable mid-run — so sample the hybrid regime
+		// here and count the (one-way) parallel-to-frontier handoff.
+		if fr := j.rec.FrontierActive(); fr && !j.frontier {
+			j.frontier = true
+			s.metrics.regimeSwitch.Inc()
+		}
 		persist := j.js != nil && !j.deleted && (e.Bucket == e.Buckets || j.wantCheckpoint)
 		var meta jobMeta
 		var rec *reconcile.Reconciler
@@ -429,7 +454,11 @@ func (s *server) handler() http.Handler {
 	}
 	mux.HandleFunc("GET /v1/admin/tenants", s.adminRoute(s.adminListTenants))
 	mux.HandleFunc("PUT /v1/admin/tenants/{tenant}", s.adminRoute(s.adminPutTenant))
-	return mux
+	// The metrics surface is open like /healthz: its labels are route
+	// patterns, tenant names, shard names and statuses — never tokens or
+	// request data (the secret-hygiene analyzer pins this package).
+	mux.Handle("GET /metrics", s.metrics.registry.Handler())
+	return s.metrics.instrument(mux)
 }
 
 // bearerToken extracts the Authorization bearer token, if any.
@@ -508,8 +537,10 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // writeQuotaError renders a tenant admission refusal as 429 with the
-// standard error JSON.
-func writeQuotaError(w http.ResponseWriter, err error) {
+// standard error JSON, counting it by resource kind — every quota refusal
+// in the API funnels through here.
+func (s *server) writeQuotaError(w http.ResponseWriter, err error) {
+	s.metrics.quotaRefused(err)
 	writeError(w, http.StatusTooManyRequests, "%v", err)
 }
 
@@ -659,13 +690,13 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 	// (with a store) the durable-byte budget. All-or-nothing — a refused
 	// submission holds nothing.
 	if err := t.AcquireJob(); err != nil {
-		writeQuotaError(w, err)
+		s.writeQuotaError(w, err)
 		return
 	}
 	nodes := int64(req.G1.Nodes) + int64(req.G2.Nodes)
 	if err := t.ReserveNodes(nodes); err != nil {
 		t.ReleaseJob()
-		writeQuotaError(w, err)
+		s.writeQuotaError(w, err)
 		return
 	}
 	undo := func() {
@@ -675,7 +706,7 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 	if s.store != nil {
 		if err := t.CheckBytes(s.store.tenant(t.Name()).checkpointBytes()); err != nil {
 			undo()
-			writeQuotaError(w, err)
+			s.writeQuotaError(w, err)
 			return
 		}
 	}
@@ -742,6 +773,10 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 		}
 		if err != nil {
 			cancel()
+			// Remove whatever landed before the failure: a refused submission
+			// must hold no durable bytes, or the orphaned graph files count
+			// against the tenant's byte quota forever.
+			j.js.purge()
 			abort(http.StatusInternalServerError, "persisting job: %v", err)
 			return
 		}
@@ -757,6 +792,7 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 	})
 	j.mu.Unlock()
 
+	s.metrics.jobsCreated.Inc()
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": j.id, "status": string(statusRunning)})
 }
 
@@ -884,7 +920,7 @@ func (s *server) addSeeds(w http.ResponseWriter, r *http.Request, tj *tenantJobs
 	// The ingest restarts sweeping: that run needs a concurrent-run slot.
 	if err := t.AcquireJob(); err != nil {
 		j.mu.Unlock()
-		writeQuotaError(w, err)
+		s.writeQuotaError(w, err)
 		return
 	}
 	before := j.rec.Len()
@@ -963,6 +999,7 @@ func (s *server) deleteJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 		j.js.releaseBase()
 	}
 	t.ReleaseNodes(int64(j.n1) + int64(j.n2))
+	s.metrics.jobsDeleted.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
 }
 
@@ -1018,7 +1055,7 @@ func (s *server) resumeJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 	}
 	if err := t.AcquireJob(); err != nil {
 		j.mu.Unlock()
-		writeQuotaError(w, err)
+		s.writeQuotaError(w, err)
 		return
 	}
 	j.status = statusRunning
@@ -1061,10 +1098,16 @@ type tenantUsage struct {
 	QueuedRuns      int   `json:"queuedRuns"` // waiting for a slot
 	Nodes           int64 `json:"nodes"`
 	CheckpointBytes int64 `json:"checkpointBytes"`
+	// WalkedBytes is the byte-accounting invariant probe, present only on
+	// GET /v1/admin/tenants?verify=bytes: a fresh walk of the tenant's
+	// store root, which must equal CheckpointBytes while the tenant's jobs
+	// are settled. The load harness asserts zero drift with it.
+	WalkedBytes *int64 `json:"walkedBytes,omitempty"`
 }
 
-// adminTenantView assembles one tenant's config-plus-usage row.
-func (s *server) adminTenantView(t *tenant.Tenant) tenantView {
+// adminTenantView assembles one tenant's config-plus-usage row. With
+// verifyBytes it also runs the store's walk-vs-counter invariant check.
+func (s *server) adminTenantView(t *tenant.Tenant, verifyBytes bool) tenantView {
 	name := t.Name()
 	auth := "token"
 	if t.Open() {
@@ -1089,16 +1132,25 @@ func (s *server) adminTenantView(t *tenant.Tenant) tenantView {
 	}
 	s.mu.Unlock()
 	if s.store != nil {
-		v.Usage.CheckpointBytes = s.store.tenant(name).checkpointBytes()
+		ts := s.store.tenant(name)
+		v.Usage.CheckpointBytes = ts.checkpointBytes()
+		if verifyBytes {
+			tracked, walked := ts.verifyBytes()
+			v.Usage.CheckpointBytes = tracked
+			v.Usage.WalkedBytes = &walked
+		}
 	}
 	return v
 }
 
-// adminListTenants handles GET /v1/admin/tenants.
+// adminListTenants handles GET /v1/admin/tenants. ?verify=bytes adds each
+// tenant's walked durable bytes next to the incremental counter so drift
+// is observable from outside (meaningful while jobs are settled).
 func (s *server) adminListTenants(w http.ResponseWriter, r *http.Request) {
+	verifyBytes := r.URL.Query().Get("verify") == "bytes"
 	views := []tenantView{}
 	for _, t := range s.reg.All() {
-		views = append(views, s.adminTenantView(t))
+		views = append(views, s.adminTenantView(t, verifyBytes))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tenants": views})
 }
@@ -1128,7 +1180,7 @@ func (s *server) adminPutTenant(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		s.store.tenant(name) // create the tenant's store root eagerly
 	}
-	writeJSON(w, http.StatusOK, s.adminTenantView(t))
+	writeJSON(w, http.StatusOK, s.adminTenantView(t, false))
 }
 
 // cancelRunning starts a graceful drain: every running job's context is

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/sociograph/reconcile"
 	"github.com/sociograph/reconcile/internal/tenant"
@@ -68,6 +69,25 @@ type store struct {
 
 	mu      sync.Mutex
 	tenants map[string]*tenantStore
+	onWrite func(shard string, bytes int64, seconds float64)
+}
+
+// SetWriteObserver installs fn, called after every tracked durable write
+// with the shard directory's base name, the bytes the file holds after the
+// write, and the wall time the write spent (temp write + fsync + rename +
+// dir fsync). The serve layer feeds the checkpoint-byte counters and fsync
+// latency histograms from it. Install before serving traffic.
+func (st *store) SetWriteObserver(fn func(shard string, bytes int64, seconds float64)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.onWrite = fn
+}
+
+// writeObserver snapshots the observer under the store lock.
+func (st *store) writeObserver() func(string, int64, float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.onWrite
 }
 
 // storeConfig carries the store's tuning flags.
@@ -243,6 +263,11 @@ func (ts *tenantStore) checkpointBytes() int64 { return ts.bytes.Load() }
 
 // recountBytes rebuilds the byte accounting from a filesystem walk.
 func (ts *tenantStore) recountBytes() {
+	ts.bytes.Store(ts.walkBytes())
+}
+
+// walkBytes sums the sizes of every file under the tenant root.
+func (ts *tenantStore) walkBytes() int64 {
 	var total int64
 	filepath.WalkDir(ts.root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
@@ -253,7 +278,17 @@ func (ts *tenantStore) recountBytes() {
 		}
 		return nil
 	})
-	ts.bytes.Store(total)
+	return total
+}
+
+// verifyBytes is the accounting invariant check: the incrementally
+// maintained counter must equal a fresh walk of the tenant root. Both
+// figures are returned so callers can report the drift. Meaningful only
+// while no job of the tenant is mid-write — the walk and the counter
+// legitimately diverge during a write — so the admin surface and the load
+// harness call it over settled jobs.
+func (ts *tenantStore) verifyBytes() (tracked, walked int64) {
+	return ts.bytes.Load(), ts.walkBytes()
 }
 
 // allShardDirs lists every shard directory present under the tenant root —
@@ -334,14 +369,23 @@ func fileSize(path string) int64 {
 
 // writeTracked is atomicWrite plus tenant byte accounting: the delta
 // between the file's size before and after lands on the tenant's counter
-// (metas are overwritten in place, so the delta is what matters).
+// (metas are overwritten in place, so the delta is what matters). The
+// accounting re-stats the path even when atomicWrite reports an error —
+// the write can fail after its rename landed (the directory fsync open),
+// and skipping the adjustment then left the counter permanently below the
+// walk, a drift the boot-walk invariant (verifyBytes) now pins.
 func (js *jobStore) writeTracked(path string, write func(*os.File) error) error {
 	old := fileSize(path)
-	if err := atomicWrite(path, write); err != nil {
-		return err
+	start := time.Now()
+	err := atomicWrite(path, write)
+	now := fileSize(path)
+	js.ts.bytes.Add(now - old)
+	if err == nil {
+		if fn := js.ts.store.writeObserver(); fn != nil {
+			fn(filepath.Base(js.dir), now, time.Since(start).Seconds())
+		}
 	}
-	js.ts.bytes.Add(fileSize(path) - old)
-	return nil
+	return err
 }
 
 // removeTracked deletes a file and credits its bytes back to the tenant.

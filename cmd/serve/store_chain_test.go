@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"github.com/sociograph/reconcile"
+	"github.com/sociograph/reconcile/internal/tenant"
 )
 
 // chainVictim builds a deterministic checkpoint chain: a job of `iterations`
@@ -492,4 +493,68 @@ func TestStoreLegacyFlatLayout(t *testing.T) {
 	if v.Status != statusDone || v.Links != len(res.Pairs) {
 		t.Fatalf("migrated job reloaded as %q with %d links, want done with %d", v.Status, v.Links, len(res.Pairs))
 	}
+}
+
+// TestStoreByteAccountingInvariant pins the durable-byte invariant the
+// quota system depends on: the incrementally maintained per-tenant counter
+// equals a fresh walk of the tenant root after every path that moves bytes
+// — graph writes, delta and full checkpoints, retention compaction, failed
+// writes, legacy .state retirement, and purge. Aggressive chain settings
+// (fullEvery 2, keep 1) make compaction fire constantly.
+func TestStoreByteAccountingInvariant(t *testing.T) {
+	st, err := newStore(t.TempDir(), storeConfig{shards: 2, fullEvery: 2, keep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := st.tenant(tenant.Default)
+	check := func(stage string) {
+		t.Helper()
+		tracked, walked := ts.verifyBytes()
+		if tracked != walked {
+			t.Fatalf("%s: tracked %d bytes, walk found %d (drift %+d)", stage, tracked, walked, tracked-walked)
+		}
+	}
+	check("empty store")
+
+	// Two jobs checkpointing at every sweep boundary: fulls, deltas, and
+	// keep-1 retention all churn the counter.
+	chainVictim(t, st, "job-1", 6, 3)
+	check("after job-1 chain")
+	chainVictim(t, st, "job-2", 4, 2)
+	check("after job-2 chain")
+
+	// A write that fails before its rename moves nothing: the old file (or
+	// its absence) is still what is on disk.
+	js := st.jobStore("job-1")
+	boom := errors.New("boom")
+	if err := js.writeTracked(js.path(".probe"), func(*os.File) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("failed write returned %v, want boom", err)
+	}
+	check("after failed write")
+
+	// Legacy flat layout: a pre-shard .state lands in the counter via the
+	// boot walk, then a chain full supersedes it and retireOld removes it.
+	legacyState := filepath.Join(ts.root, "job-9.state")
+	if err := os.WriteFile(legacyState, []byte("legacy snapshot bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts.recountBytes()
+	check("after legacy .state boot walk")
+	js9 := &jobStore{ts: ts, dir: ts.root, id: "job-9"}
+	if err := js9.writeTracked(js9.chainPath(1, "full"), func(f *os.File) error {
+		_, err := f.Write([]byte("full record"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	js9.retireOld()
+	if _, err := os.Stat(legacyState); !os.IsNotExist(err) {
+		t.Fatalf(".state not retired (err=%v)", err)
+	}
+	check("after legacy retirement")
+
+	// Purge credits everything back.
+	st.jobStore("job-2").purge()
+	js9.purge()
+	check("after purges")
 }

@@ -60,6 +60,17 @@ const phaseRetainSweeps = 16
 // that mirror the session's bounded log (cmd/serve's wire-phase feed).
 const PhaseRetainSweeps = phaseRetainSweeps
 
+// FrontierActive reports whether a hybrid session has handed off to the
+// frontier regime. Always false for fixed-engine sessions (they have no
+// regime to switch), always true once a hybrid session crosses over (the
+// handoff is one-way). Safe wherever session state is readable — the run
+// goroutine between buckets, or any goroutine while no run is in flight —
+// which is exactly where the serve layer's progress hook samples it for
+// the regime-switch counter.
+func (s *Session) FrontierActive() bool {
+	return s.opts.Engine == EngineHybrid && s.hybridSwitched
+}
+
 // endSweep performs the bookkeeping owed at every completed sweep boundary:
 // the hybrid engine's regime decision and phase-log eviction. It must run at
 // sweep completions and nowhere else — both effects are position-driven and

@@ -1,0 +1,580 @@
+// Package loadgen drives a live serve process with deterministic mixed
+// multi-tenant load and reports throughput, latency quantiles, error
+// counts, and end-of-run invariant checks (scheduler slot leaks, durable
+// byte-accounting drift) as a JSON-ready summary.
+//
+// The workload content — graphs, seeds, job shapes — derives entirely from
+// Config.Seed through internal/xrand's splittable streams, so two runs
+// against equivalent servers submit byte-identical requests; only the
+// interleaving (and therefore the timing figures) varies. The driver is a
+// plain HTTP client: it exercises the real wire surface, including the
+// admin API it uses to register its tenants and to verify invariants after
+// the load settles.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sociograph/reconcile/internal/metrics"
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// Scenario names accepted by Config.Scenario. Every scenario draws from
+// the same four job shapes; they differ in the mix:
+//
+//	mixed        round-robin over all four shapes (the default)
+//	batch        cold batch submissions only
+//	incremental  incremental AddSeeds streams only
+//	churn        checkpoint/cancel/resume churn only
+//	deletes      submit-then-DELETE storms only
+var Scenarios = []string{"mixed", "batch", "incremental", "churn", "deletes"}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the serve process root, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Scenario picks the job-shape mix; see Scenarios. Empty means mixed.
+	Scenario string
+	// Tenants is the number of load tenants (registered over the admin API
+	// as load-00, load-01, …). At least 1.
+	Tenants int
+	// JobsPerTenant is the number of jobs each tenant submits.
+	JobsPerTenant int
+	// Workers is the number of concurrent driver goroutines per tenant;
+	// <= 0 means 4. Total concurrency is Tenants * Workers.
+	Workers int
+	// Nodes is the per-side graph size of generated instances; <= 0 means 48.
+	Nodes int
+	// Seed fixes the workload content. Two runs with equal Seed and shape
+	// parameters submit identical graphs, seeds and operation sequences.
+	Seed uint64
+	// AdminToken authenticates against /v1/admin when the server has one.
+	AdminToken string
+	// Client overrides the HTTP client (tests inject httptest clients).
+	Client *http.Client
+}
+
+// Quantiles summarizes one operation's latency histogram, in seconds.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Report is the run summary, emitted as JSON by cmd/loadgen.
+type Report struct {
+	Scenario      string `json:"scenario"`
+	Tenants       int    `json:"tenants"`
+	JobsPerTenant int    `json:"jobsPerTenant"`
+	JobsSubmitted int64  `json:"jobsSubmitted"`
+	JobsDone      int64  `json:"jobsDone"`
+	JobsDeleted   int64  `json:"jobsDeleted"`
+	Requests      int64  `json:"requests"`
+	// TooManyRequests counts 429 responses (quota refusals); the driver
+	// retries them, so they are back-pressure, not failures.
+	TooManyRequests int64 `json:"tooManyRequests"`
+	// Failures are unexpected responses or transport errors, with context.
+	// A clean run has none.
+	Failures []string `json:"failures"`
+	// Invariants are end-of-run violations: scheduler slots or queue
+	// entries still held after settling, or byte-accounting drift between
+	// the incremental counter and a filesystem walk. A correct server
+	// under any load has none.
+	Invariants     []string             `json:"invariants"`
+	ElapsedSeconds float64              `json:"elapsedSeconds"`
+	JobsPerSecond  float64              `json:"jobsPerSecond"`
+	Latency        map[string]Quantiles `json:"latency"`
+}
+
+// driver carries one run's shared state.
+type driver struct {
+	cfg    Config
+	client *http.Client
+
+	submitted atomic.Int64
+	done      atomic.Int64
+	deleted   atomic.Int64
+	requests  atomic.Int64
+	tooMany   atomic.Int64
+
+	mu         sync.Mutex
+	failures   []string
+	violations []string
+
+	hist map[string]*metrics.Histogram
+}
+
+// ops are the latency classes the driver tracks.
+var ops = []string{"submit", "poll", "seeds", "checkpoint", "cancel", "resume", "delete", "job"}
+
+// Run executes the configured scenario and returns its report. The context
+// bounds the whole run; on cancellation the report covers what finished.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Tenants < 1 {
+		cfg.Tenants = 1
+	}
+	if cfg.JobsPerTenant < 1 {
+		cfg.JobsPerTenant = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 48
+	}
+	if cfg.Scenario == "" {
+		cfg.Scenario = "mixed"
+	}
+	valid := false
+	for _, s := range Scenarios {
+		valid = valid || s == cfg.Scenario
+	}
+	if !valid {
+		return nil, fmt.Errorf("loadgen: unknown scenario %q (have %v)", cfg.Scenario, Scenarios)
+	}
+	d := &driver{cfg: cfg, client: cfg.Client, hist: map[string]*metrics.Histogram{}}
+	if d.client == nil {
+		d.client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	reg := metrics.NewRegistry()
+	for _, op := range ops {
+		d.hist[op] = reg.Histogram("op_"+op+"_seconds", "", nil)
+	}
+
+	for i := 0; i < cfg.Tenants; i++ {
+		if err := d.registerTenant(ctx, d.tenantName(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ti := 0; ti < cfg.Tenants; ti++ {
+		// One xrand stream per tenant, split per job: content depends only
+		// on (Seed, tenant index, job index), never on scheduling.
+		troot := xrand.New(cfg.Seed + uint64(ti)*0x9e3779b97f4a7c15)
+		jobRands := make([]*xrand.Rand, cfg.JobsPerTenant)
+		for ji := range jobRands {
+			jobRands[ji] = troot.Split()
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(ti, w int) {
+				defer wg.Done()
+				for ji := w; ji < cfg.JobsPerTenant; ji += cfg.Workers {
+					if ctx.Err() != nil {
+						return
+					}
+					d.runJob(ctx, d.tenantName(ti), jobRands[ji], ji)
+				}
+			}(ti, w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	if ctx.Err() == nil {
+		d.verifyInvariants(ctx)
+	}
+
+	rep := &Report{
+		Scenario:        cfg.Scenario,
+		Tenants:         cfg.Tenants,
+		JobsPerTenant:   cfg.JobsPerTenant,
+		JobsSubmitted:   d.submitted.Load(),
+		JobsDone:        d.done.Load(),
+		JobsDeleted:     d.deleted.Load(),
+		Requests:        d.requests.Load(),
+		TooManyRequests: d.tooMany.Load(),
+		Failures:        d.failures,
+		ElapsedSeconds:  elapsed,
+		Latency:         map[string]Quantiles{},
+	}
+	if elapsed > 0 {
+		rep.JobsPerSecond = float64(rep.JobsDone) / elapsed
+	}
+	for _, op := range ops {
+		h := d.hist[op]
+		if h.Count() == 0 {
+			continue
+		}
+		rep.Latency[op] = Quantiles{
+			Count: h.Count(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	// Failures were appended concurrently; fix their order.
+	sort.Strings(rep.Failures)
+	if rep.Failures == nil {
+		rep.Failures = []string{}
+	}
+	rep.Invariants = d.violations
+	if rep.Invariants == nil {
+		rep.Invariants = []string{}
+	}
+	return rep, ctx.Err()
+}
+
+func (d *driver) tenantName(i int) string { return fmt.Sprintf("load-%02d", i) }
+
+func (d *driver) fail(format string, args ...any) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.failures) < 100 { // cap: a systemic failure repeats identically
+		d.failures = append(d.failures, fmt.Sprintf(format, args...))
+	}
+}
+
+// observe records one latency sample.
+func (d *driver) observe(op string, start time.Time) {
+	d.hist[op].Observe(time.Since(start).Seconds())
+}
+
+// doJSON performs one request with a JSON body (nil for none), decodes the
+// response into out (when non-nil), and returns the status code. 429s are
+// retried with a small backoff — quota refusals are back-pressure, and the
+// driver's job is to lean on the server until admitted.
+func (d *driver) doJSON(ctx context.Context, method, url string, body, out any, headers map[string]string) (int, error) {
+	var encoded []byte
+	if body != nil {
+		var err error
+		if encoded, err = json.Marshal(body); err != nil {
+			return 0, err
+		}
+	}
+	backoff := 2 * time.Millisecond
+	for {
+		var rd io.Reader
+		if encoded != nil {
+			rd = bytes.NewReader(encoded)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return 0, err
+		}
+		if encoded != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := d.client.Do(req)
+		d.requests.Add(1)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			d.tooMany.Add(1)
+			select {
+			case <-ctx.Done():
+				return resp.StatusCode, ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		var decodeErr error
+		if out != nil && resp.StatusCode < 300 {
+			decodeErr = json.NewDecoder(resp.Body).Decode(out)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+		return resp.StatusCode, decodeErr
+	}
+}
+
+// registerTenant PUTs an open, unlimited load tenant over the admin API.
+func (d *driver) registerTenant(ctx context.Context, name string) error {
+	headers := map[string]string{}
+	if d.cfg.AdminToken != "" {
+		headers["Authorization"] = "Bearer " + d.cfg.AdminToken
+	}
+	code, err := d.doJSON(ctx, http.MethodPut, d.cfg.BaseURL+"/v1/admin/tenants/"+name,
+		map[string]any{"name": name}, nil, headers)
+	if err != nil {
+		return fmt.Errorf("loadgen: registering tenant %s: %w", name, err)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("loadgen: registering tenant %s: status %d", name, code)
+	}
+	return nil
+}
+
+// instance is one generated job request in the serve wire format.
+type instance struct {
+	G1          graphSpec  `json:"g1"`
+	G2          graphSpec  `json:"g2"`
+	Seeds       [][2]int   `json:"seeds"`
+	Options     optionsMap `json:"options,omitempty"`
+	UntilStable bool       `json:"untilStable,omitempty"`
+	MaxSweeps   int        `json:"maxSweeps,omitempty"`
+}
+
+type graphSpec struct {
+	Nodes int      `json:"nodes"`
+	Edges [][2]int `json:"edges"`
+}
+
+type optionsMap map[string]any
+
+// genInstance builds a reconciliation instance the paper's way: a base
+// random graph, two noisy copies (each keeps a base edge with probability
+// 0.85), and identity seed links on a fraction of nodes. extraSeeds holds
+// follow-up identity seeds for incremental scenarios, disjoint from Seeds.
+func genInstance(r *xrand.Rand, n int) (inst instance, extraSeeds [][2]int) {
+	edges := 3 * n
+	seen := map[[2]int]bool{}
+	var base [][2]int
+	for len(base) < edges {
+		u, v := r.IntN(n), r.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		base = append(base, [2]int{u, v})
+	}
+	keep := func() [][2]int {
+		var out [][2]int
+		for _, e := range base {
+			if r.Bool(0.85) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	inst.G1 = graphSpec{Nodes: n, Edges: keep()}
+	inst.G2 = graphSpec{Nodes: n, Edges: keep()}
+	perm := r.Perm(n)
+	for i, node := range perm {
+		pair := [2]int{node, node}
+		switch {
+		case i < n/10+1:
+			inst.Seeds = append(inst.Seeds, pair)
+		case i < n/5+2:
+			extraSeeds = append(extraSeeds, pair)
+		}
+	}
+	return inst, extraSeeds
+}
+
+// shapeFor picks a job's shape under the scenario mix.
+func (d *driver) shapeFor(ji int) string {
+	if d.cfg.Scenario != "mixed" {
+		return d.cfg.Scenario
+	}
+	return []string{"batch", "incremental", "churn", "deletes"}[ji%4]
+}
+
+// runJob drives one job through its shape's full lifecycle.
+func (d *driver) runJob(ctx context.Context, tenantName string, r *xrand.Rand, ji int) {
+	shape := d.shapeFor(ji)
+	base := d.cfg.BaseURL + "/v1/tenants/" + tenantName + "/jobs"
+	inst, extraSeeds := genInstance(r, d.cfg.Nodes)
+	inst.UntilStable = true
+	inst.MaxSweeps = 8
+
+	jobStart := time.Now()
+	var created struct {
+		ID string `json:"id"`
+	}
+	start := time.Now()
+	code, err := d.doJSON(ctx, http.MethodPost, base, inst, &created, nil)
+	d.observe("submit", start)
+	if err != nil || code != http.StatusAccepted {
+		d.fail("%s job %d: submit: status %d err %v", tenantName, ji, code, err)
+		return
+	}
+	d.submitted.Add(1)
+	jobURL := base + "/" + created.ID
+
+	switch shape {
+	case "batch":
+		if !d.awaitTerminal(ctx, jobURL, "done") {
+			return
+		}
+	case "incremental":
+		if !d.awaitTerminal(ctx, jobURL, "done") {
+			return
+		}
+		for len(extraSeeds) > 0 {
+			half := (len(extraSeeds) + 1) / 2
+			batch := extraSeeds[:half]
+			extraSeeds = extraSeeds[half:]
+			start = time.Now()
+			code, err = d.doJSON(ctx, http.MethodPost, jobURL+"/seeds",
+				map[string][][2]int{"seeds": batch}, nil, nil)
+			d.observe("seeds", start)
+			// 409 is a legitimate outcome, not a failure: a ground-truth
+			// seed can conflict with a link the earlier sweeps inferred,
+			// and the API rejects the batch atomically. Skip it — no run
+			// was started — and stream the next batch.
+			if code == http.StatusConflict {
+				continue
+			}
+			if err != nil || code != http.StatusAccepted {
+				d.fail("%s job %s: seeds: status %d err %v", tenantName, created.ID, code, err)
+				return
+			}
+			if !d.awaitTerminal(ctx, jobURL, "done") {
+				return
+			}
+		}
+	case "churn":
+		// Checkpoint and cancel race the run on purpose; whichever state
+		// the job lands in, resume must finish it.
+		start = time.Now()
+		code, err = d.doJSON(ctx, http.MethodPost, jobURL+"/checkpoint", nil, nil, nil)
+		d.observe("checkpoint", start)
+		if err != nil || (code != http.StatusOK && code != http.StatusAccepted) {
+			d.fail("%s job %s: checkpoint: status %d err %v", tenantName, created.ID, code, err)
+			return
+		}
+		start = time.Now()
+		code, err = d.doJSON(ctx, http.MethodPost, jobURL+"/cancel", nil, nil, nil)
+		d.observe("cancel", start)
+		if err != nil || code != http.StatusAccepted {
+			d.fail("%s job %s: cancel: status %d err %v", tenantName, created.ID, code, err)
+			return
+		}
+		st, ok := d.awaitSettled(ctx, jobURL)
+		if !ok {
+			return
+		}
+		if st == "cancelled" {
+			start = time.Now()
+			code, err = d.doJSON(ctx, http.MethodPost, jobURL+"/resume", nil, nil, nil)
+			d.observe("resume", start)
+			if err != nil || code != http.StatusAccepted {
+				d.fail("%s job %s: resume: status %d err %v", tenantName, created.ID, code, err)
+				return
+			}
+		}
+		if !d.awaitTerminal(ctx, jobURL, "done") {
+			return
+		}
+	case "deletes":
+		if !d.awaitTerminal(ctx, jobURL, "done") {
+			return
+		}
+		start = time.Now()
+		code, err = d.doJSON(ctx, http.MethodDelete, jobURL, nil, nil, nil)
+		d.observe("delete", start)
+		if err != nil || code != http.StatusOK {
+			d.fail("%s job %s: delete: status %d err %v", tenantName, created.ID, code, err)
+			return
+		}
+		d.deleted.Add(1)
+	}
+	d.observe("job", jobStart)
+	d.done.Add(1)
+}
+
+// awaitSettled polls the job until it leaves "running" and returns the
+// terminal status.
+func (d *driver) awaitSettled(ctx context.Context, jobURL string) (string, bool) {
+	interval := 2 * time.Millisecond
+	for {
+		var v struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		start := time.Now()
+		code, err := d.doJSON(ctx, http.MethodGet, jobURL, nil, &v, nil)
+		d.observe("poll", start)
+		if err != nil || code != http.StatusOK {
+			d.fail("%s: poll: status %d err %v", jobURL, code, err)
+			return "", false
+		}
+		if v.Status != "running" {
+			return v.Status, true
+		}
+		select {
+		case <-ctx.Done():
+			return "", false
+		case <-time.After(interval):
+		}
+		if interval < 50*time.Millisecond {
+			interval = interval * 3 / 2
+		}
+	}
+}
+
+// awaitTerminal polls until settled and requires the given status.
+func (d *driver) awaitTerminal(ctx context.Context, jobURL, want string) bool {
+	st, ok := d.awaitSettled(ctx, jobURL)
+	if !ok {
+		return false
+	}
+	if st != want {
+		d.fail("%s: settled as %q, want %q", jobURL, st, want)
+		return false
+	}
+	return true
+}
+
+// adminTenant mirrors the slice of GET /v1/admin/tenants the invariant
+// checks read.
+type adminTenant struct {
+	Name  string `json:"name"`
+	Usage struct {
+		RunSlots        int    `json:"runSlots"`
+		QueuedRuns      int    `json:"queuedRuns"`
+		CheckpointBytes int64  `json:"checkpointBytes"`
+		WalkedBytes     *int64 `json:"walkedBytes"`
+	} `json:"usage"`
+}
+
+// verifyInvariants asks the admin API for the settled end-of-run picture:
+// no scheduler slots or queue entries may remain, and each tenant's
+// incremental byte counter must match the server's filesystem walk.
+func (d *driver) verifyInvariants(ctx context.Context) {
+	headers := map[string]string{}
+	if d.cfg.AdminToken != "" {
+		headers["Authorization"] = "Bearer " + d.cfg.AdminToken
+	}
+	var resp struct {
+		Tenants []adminTenant `json:"tenants"`
+	}
+	code, err := d.doJSON(ctx, http.MethodGet, d.cfg.BaseURL+"/v1/admin/tenants?verify=bytes", nil, &resp, headers)
+	if err != nil || code != http.StatusOK {
+		d.fail("admin verify: status %d err %v", code, err)
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range resp.Tenants {
+		if t.Usage.RunSlots != 0 {
+			d.violations = append(d.violations, fmt.Sprintf("tenant %s: %d scheduler slots leaked", t.Name, t.Usage.RunSlots))
+		}
+		if t.Usage.QueuedRuns != 0 {
+			d.violations = append(d.violations, fmt.Sprintf("tenant %s: %d runs still queued", t.Name, t.Usage.QueuedRuns))
+		}
+		if t.Usage.WalkedBytes != nil && *t.Usage.WalkedBytes != t.Usage.CheckpointBytes {
+			d.violations = append(d.violations, fmt.Sprintf("tenant %s: byte drift: tracked %d, walked %d",
+				t.Name, t.Usage.CheckpointBytes, *t.Usage.WalkedBytes))
+		}
+	}
+}

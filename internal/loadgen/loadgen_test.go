@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/xrand"
+)
+
+// TestGenInstanceDeterministic pins the harness's content determinism:
+// equal seeds must produce byte-identical instances, and the seed batches
+// must be disjoint from the initial seed set.
+func TestGenInstanceDeterministic(t *testing.T) {
+	a, extraA := genInstance(xrand.New(42), 48)
+	b, extraB := genInstance(xrand.New(42), 48)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("same seed produced different instances")
+	}
+	jea, _ := json.Marshal(extraA)
+	jeb, _ := json.Marshal(extraB)
+	if string(jea) != string(jeb) {
+		t.Fatal("same seed produced different extra seed batches")
+	}
+	if len(a.Seeds) == 0 || len(extraA) == 0 {
+		t.Fatalf("want non-empty seeds (%d) and extra seeds (%d)", len(a.Seeds), len(extraA))
+	}
+	initial := map[[2]int]bool{}
+	for _, p := range a.Seeds {
+		initial[p] = true
+	}
+	for _, p := range extraA {
+		if initial[p] {
+			t.Fatalf("extra seed %v duplicates an initial seed", p)
+		}
+	}
+	if len(a.G1.Edges) == 0 || len(a.G2.Edges) == 0 {
+		t.Fatal("generated empty graphs")
+	}
+	c, _ := genInstance(xrand.New(43), 48)
+	jc, _ := json.Marshal(c)
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Scenario: "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestShapeMix pins the mixed round-robin and the pure scenarios.
+func TestShapeMix(t *testing.T) {
+	d := &driver{cfg: Config{Scenario: "mixed"}}
+	want := []string{"batch", "incremental", "churn", "deletes", "batch"}
+	for i, w := range want {
+		if got := d.shapeFor(i); got != w {
+			t.Fatalf("mixed job %d: shape %q, want %q", i, got, w)
+		}
+	}
+	d.cfg.Scenario = "churn"
+	for i := 0; i < 3; i++ {
+		if got := d.shapeFor(i); got != "churn" {
+			t.Fatalf("pure scenario job %d: shape %q", i, got)
+		}
+	}
+}

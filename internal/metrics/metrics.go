@@ -1,0 +1,456 @@
+// Package metrics is a small, dependency-free metrics registry exposing the
+// Prometheus text format (version 0.0.4). It exists so cmd/serve can answer
+// GET /metrics without pulling the Prometheus client library into a module
+// that is otherwise stdlib-only.
+//
+// Three instrument kinds cover the serve layer's needs:
+//
+//   - Counter: a monotone total (requests served, bytes written);
+//   - Gauge: a settable level (queue depth, active jobs), optionally
+//     refreshed by a scrape callback so values are read at exposition time;
+//   - Histogram: fixed cumulative buckets plus sum and count, from which a
+//     scraper derives quantiles (p50/p99 request latency).
+//
+// Each instrument comes in a plain and a labelled (Vec) form. Label values
+// are escaped per the exposition format, and instruments of one family are
+// written sorted by label value, so the output is byte-deterministic for a
+// given registry state — the metrics tests diff exact lines.
+//
+// Concurrency: all instrument methods are safe for concurrent use. The
+// counters and gauges are atomics; histograms take a short mutex per
+// observation. WritePrometheus takes each family's mutex only to snapshot.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds: enough resolution
+// for sub-millisecond in-process handlers at the bottom and multi-second
+// checkpoint fsyncs at the top. Histogram quantiles are only as fine as
+// their buckets, so p50/p99 read from these are bucket upper bounds, which
+// is the precision a load gate needs (order-of-magnitude regressions, not
+// 5% drifts).
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry holds metric families in registration order.
+type Registry struct {
+	mu         sync.Mutex
+	families   []*family
+	byName     map[string]*family
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric with all its labelled children.
+type family struct {
+	name   string
+	help   string
+	kind   string // "counter" | "gauge" | "histogram"
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]metric // key: joined label values
+}
+
+// metric is one (labelled) instrument inside a family.
+type metric interface {
+	write(w io.Writer, fam *family, labelValues []string)
+}
+
+// register adds a family, panicking on a duplicate or invalid name —
+// metric registration is program structure, not runtime input, so mistakes
+// should fail at startup, loudly.
+func (r *Registry) register(name, help, kind string, labels []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, children: make(map[string]metric)}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// child returns (creating if needed) the instrument for one label-value
+// tuple. make builds the zero instrument.
+func (f *family) child(labelValues []string, make func() metric) metric {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s takes %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.children[key]
+	if m == nil {
+		m = make()
+		f.children[key] = m
+	}
+	return m
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Add increments the counter by v (v < 0 panics: counters are monotone).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decrement")
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(w io.Writer, fam *family, labelValues []string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPairs(fam.labels, labelValues), formatFloat(c.Value()))
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments (or, negative v, decrements) the gauge.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, fam *family, labelValues []string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, labelPairs(fam.labels, labelValues), formatFloat(g.Value()))
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	upper []float64 // sorted upper bounds, +Inf implicit
+
+	mu     sync.Mutex
+	counts []uint64 // one per upper bound
+	inf    uint64   // observations above the last bound
+	sum    float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (the default is 14): linear scan beats binary search
+	// at this size and keeps the hot path branch-predictable.
+	h.mu.Lock()
+	placed := false
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf++
+	}
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.inf
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns the upper bound of the bucket containing the q-quantile
+// (0 < q <= 1) — the same estimate a Prometheus histogram_quantile yields
+// with these buckets. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := h.inf
+	for _, c := range h.counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return h.upper[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+func (h *Histogram) write(w io.Writer, fam *family, labelValues []string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	inf, sum := h.inf, h.sum
+	h.mu.Unlock()
+	// Fresh copies: appending to the family's shared label slice in place
+	// would race a concurrent scrape on the backing array.
+	leNames := append(append([]string{}, fam.labels...), "le")
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+			labelPairs(leNames, append(append([]string{}, labelValues...), formatFloat(ub))), cum)
+	}
+	cum += inf
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+		labelPairs(leNames, append(append([]string{}, labelValues...), "+Inf")), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labelPairs(fam.labels, labelValues), formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labelPairs(fam.labels, labelValues), cum)
+}
+
+// Counter registers an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", nil)
+	return f.child(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", nil)
+	return f.child(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers an unlabelled histogram over the given bucket upper
+// bounds (nil: DefBuckets). Bounds must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, "histogram", nil)
+	return f.child(nil, func() metric { return newHistogram(name, buckets) }).(*Histogram)
+}
+
+func newHistogram(name string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("metrics: %s buckets not sorted", name))
+	}
+	return &Histogram{upper: append([]float64(nil), buckets...), counts: make([]uint64, len(buckets))}
+}
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, "counter", labels)}
+}
+
+// With returns the counter for one label-value tuple, creating it at zero.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.child(labelValues, func() metric { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, "gauge", labels)}
+}
+
+// With returns the gauge for one label-value tuple, creating it at zero.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.child(labelValues, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by labels, sharing one
+// bucket layout.
+type HistogramVec struct {
+	f       *family
+	buckets []float64
+}
+
+// HistogramVec registers a labelled histogram family (nil buckets:
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, "histogram", labels), buckets}
+}
+
+// With returns the histogram for one label-value tuple, creating it empty.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.child(labelValues, func() metric { return newHistogram(v.f.name, v.buckets) }).(*Histogram)
+}
+
+// OnCollect registers fn to run at the start of every exposition, before
+// any family is written. Scrape-time gauges (queue depths, job counts) are
+// refreshed here so every scrape reads a consistent, current snapshot
+// without the instruments polling in the background.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// WritePrometheus writes every family in registration order, children
+// sorted by label values, in the Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	fams := append([]*family{}, r.families...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// Handler returns the GET /metrics handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w io.Writer) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]metric, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return // a Vec with no children yet writes nothing, like Prometheus
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for i, k := range keys {
+		var values []string
+		if k != "" || len(f.labels) > 0 {
+			values = strings.Split(k, "\xff")
+		}
+		children[i].write(w, f, values)
+	}
+}
+
+// labelPairs renders {a="x",b="y"} (empty string for no labels), escaping
+// values per the exposition format.
+func labelPairs(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value: backslash, double quote and newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func dump(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs accepted")
+	c.Inc()
+	c.Add(2)
+	want := "# HELP jobs_total jobs accepted\n# TYPE jobs_total counter\njobs_total 3\n"
+	if got := dump(r); got != want {
+		t.Fatalf("exposition:\n%q\nwant\n%q", got, want)
+	}
+	if c.Value() != 3 {
+		t.Fatalf("Value = %v", c.Value())
+	}
+}
+
+func TestCounterVecSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "route", "code")
+	v.With("/v1/jobs", "200").Inc()
+	v.With("/v1/jobs", "200").Inc()
+	v.With(`/v1/"x"`+"\n", "404").Inc()
+	got := dump(r)
+	want := strings.Join([]string{
+		"# HELP req_total requests",
+		"# TYPE req_total counter",
+		`req_total{route="/v1/\"x\"\n",code="404"} 1`,
+		`req_total{route="/v1/jobs",code="200"} 2`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %v", g.Value())
+	}
+	if !strings.Contains(dump(r), "depth 3\n") {
+		t.Fatalf("exposition: %q", dump(r))
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+	got := dump(r)
+	for _, line := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 3.545`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q != 0.1 {
+		t.Fatalf("p50 = %v, want 0.1", q)
+	}
+	if q := h.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Fatalf("p99 = %v, want +Inf", q)
+	}
+	if q := h.Quantile(0.2); q != 0.01 {
+		t.Fatalf("p20 = %v, want 0.01", q)
+	}
+}
+
+func TestHistogramVecSharedBuckets(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("w_seconds", "waits", []float64{1, 2}, "tenant")
+	v.With("a").Observe(1.5)
+	v.With("b").Observe(0.5)
+	got := dump(r)
+	for _, line := range []string{
+		`w_seconds_bucket{tenant="a",le="1"} 0`,
+		`w_seconds_bucket{tenant="a",le="2"} 1`,
+		`w_seconds_bucket{tenant="b",le="1"} 1`,
+		`w_seconds_count{tenant="b"} 1`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, got)
+		}
+	}
+}
+
+func TestEmptyVecWritesNothing(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("unused_total", "never touched", "x")
+	if got := dump(r); got != "" {
+		t.Fatalf("empty vec produced output: %q", got)
+	}
+}
+
+func TestOnCollectRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("live", "refreshed at scrape")
+	n := 0.0
+	r.OnCollect(func() { n += 7; g.Set(n) })
+	if !strings.Contains(dump(r), "live 7\n") {
+		t.Fatal("first scrape did not run collector")
+	}
+	if !strings.Contains(dump(r), "live 14\n") {
+		t.Fatal("second scrape did not rerun collector")
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "empty", nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for name, fn := range map[string]func(*Registry){
+		"duplicate":   func(r *Registry) { r.Counter("a_total", ""); r.Counter("a_total", "") },
+		"bad name":    func(r *Registry) { r.Counter("1bad", "") },
+		"bad label":   func(r *Registry) { r.CounterVec("ok_total", "", "bad-label") },
+		"wrong arity": func(r *Registry) { r.CounterVec("ok_total", "", "a").With("x", "y") },
+		"neg counter": func(r *Registry) { r.Counter("ok_total", "").Add(-1) },
+		"bad buckets": func(r *Registry) { r.Histogram("h", "", []float64{2, 1}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+// TestConcurrentUse is the package's -race probe: all instrument kinds
+// hammered while a scraper loops.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("c_total", "", "k")
+	g := r.Gauge("g", "")
+	h := r.HistogramVec("h_seconds", "", nil, "k")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w))
+			for i := 0; i < 500; i++ {
+				c.With(key).Inc()
+				g.Add(1)
+				h.With(key).Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = dump(r)
+		}
+	}()
+	wg.Wait()
+	if got := c.With("a").Value(); got != 500 {
+		t.Fatalf("counter a = %v", got)
+	}
+	if got := g.Value(); got != 2000 {
+		t.Fatalf("gauge = %v", got)
+	}
+}

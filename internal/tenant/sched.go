@@ -3,6 +3,7 @@ package tenant
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // Scheduler allocates a fixed pool of run slots across tenants so that no
@@ -24,6 +25,14 @@ import (
 // Within one tenant, waiters are served strictly FIFO. Capacity <= 0 means
 // unlimited: Acquire never blocks and only the per-tenant usage counters
 // are maintained.
+//
+// Invariant (guarded by mu, asserted by the race-stress suite): a tenant
+// name appears in the ring exactly once, and exactly when its queue is
+// non-empty. A cancelled Acquire dequeues its waiter immediately, so
+// abandoned waiters never linger to distort share() demand or round-robin
+// order — a previous revision left them queued until a later grant pass
+// swept them, which also let a tenant whose queue drained while the pool
+// was full be re-appended to the ring twice, doubling its scan weight.
 type Scheduler struct {
 	reg      *Registry
 	capacity int
@@ -34,15 +43,16 @@ type Scheduler struct {
 	queues   map[string][]*waiter
 	ring     []string // tenants with queued waiters, in arrival order
 	next     int      // ring index the next grant scan starts at
+	onWait   func(tenant string, seconds float64)
 }
 
-// waiter is one queued Acquire. granted and abandoned are guarded by the
-// scheduler mutex and resolve the race between a grant and a context
-// cancellation: whichever is recorded first wins.
+// waiter is one queued Acquire. granted is guarded by the scheduler mutex
+// and resolves the race between a grant and a context cancellation:
+// whichever is recorded first wins — a grant that loses is handed back by
+// the cancelling goroutine, a cancellation that loses returns the slot.
 type waiter struct {
-	ch        chan struct{}
-	granted   bool
-	abandoned bool
+	ch      chan struct{}
+	granted bool
 }
 
 // NewScheduler builds a scheduler over the registry's weights. capacity is
@@ -70,13 +80,28 @@ func (s *Scheduler) InFlight(name string) int {
 func (s *Scheduler) Queued(name string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, w := range s.queues[name] {
-		if !w.abandoned {
-			n++
-		}
+	return len(s.queues[name])
+}
+
+// SetWaitObserver installs fn, called once per successful Acquire with the
+// tenant's name and how long the caller waited for its slot (zero for
+// grants that never queued). The observer runs outside the scheduler mutex
+// on the acquiring goroutine; cmd/serve feeds a latency histogram from it.
+// Install before serving traffic; a nil fn disables observation.
+func (s *Scheduler) SetWaitObserver(fn func(tenant string, seconds float64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onWait = fn
+}
+
+// observeWait reports one successful acquisition to the observer, if any.
+func (s *Scheduler) observeWait(name string, seconds float64) {
+	s.mu.Lock()
+	fn := s.onWait
+	s.mu.Unlock()
+	if fn != nil {
+		fn(name, seconds)
 	}
-	return n
 }
 
 // weight returns a tenant's fair-share weight, defaulting to 1 for names
@@ -126,6 +151,7 @@ func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), e
 	if s.capacity <= 0 {
 		s.inflight[name]++
 		s.mu.Unlock()
+		s.observeWait(name, 0)
 		return func() { s.release(name) }, nil
 	}
 	// Grant inline only when no one is queued anywhere — a free slot with
@@ -135,6 +161,7 @@ func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), e
 		s.total++
 		s.inflight[name]++
 		s.mu.Unlock()
+		s.observeWait(name, 0)
 		return func() { s.release(name) }, nil
 	}
 	w := &waiter{ch: make(chan struct{})}
@@ -144,9 +171,11 @@ func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), e
 	s.queues[name] = append(s.queues[name], w)
 	s.pump()
 	s.mu.Unlock()
+	start := time.Now()
 
 	select {
 	case <-w.ch:
+		s.observeWait(name, time.Since(start).Seconds())
 		return func() { s.release(name) }, nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -158,13 +187,52 @@ func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), e
 			s.mu.Unlock()
 			return nil, ctx.Err()
 		}
-		w.abandoned = true
+		// Not granted: the waiter is still queued — dequeue it now, so it
+		// cannot absorb a later grant (a slot granted to a goroutine that
+		// already returned would never be released) and stops counting as
+		// demand in share().
+		s.unqueue(name, w)
 		s.mu.Unlock()
 		return nil, ctx.Err()
 	}
 }
 
-// release returns a slot and re-runs the grant pump.
+// unqueue removes one waiter from a tenant's queue, dropping the tenant
+// from the ring when its queue empties. Caller holds s.mu.
+func (s *Scheduler) unqueue(name string, w *waiter) {
+	q := s.queues[name]
+	for i, cand := range q {
+		if cand == w {
+			s.queues[name] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(s.queues[name]) == 0 {
+		s.dropFromRing(name)
+	}
+}
+
+// dropFromRing removes a tenant from the ring, keeping the scan position on
+// the element that follows the removed one. Caller holds s.mu.
+func (s *Scheduler) dropFromRing(name string) {
+	delete(s.queues, name)
+	for i, cand := range s.ring {
+		if cand != name {
+			continue
+		}
+		s.ring = append(s.ring[:i], s.ring[i+1:]...)
+		if s.next > i {
+			s.next--
+		}
+		if s.next >= len(s.ring) {
+			s.next = 0
+		}
+		return
+	}
+}
+
+// Acquire and release keep the counters; release returns a slot and
+// re-runs the grant pump.
 func (s *Scheduler) release(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -185,13 +253,12 @@ func (s *Scheduler) release(name string) {
 // eligible tenant, repeat until no slot or no eligible waiter remains.
 // Caller holds s.mu.
 func (s *Scheduler) pump() {
-	for s.total < s.capacity {
-		s.shed()
-		if len(s.ring) == 0 {
-			return
-		}
+	for s.total < s.capacity && len(s.ring) > 0 {
 		granted := false
 		n := len(s.ring)
+		if s.next >= n {
+			s.next = 0
+		}
 		for scanned := 0; scanned < n; scanned++ {
 			idx := (s.next + scanned) % n
 			name := s.ring[idx]
@@ -204,7 +271,14 @@ func (s *Scheduler) pump() {
 			s.total++
 			s.inflight[name]++
 			close(w.ch)
-			s.next = (idx + 1) % n
+			if len(s.queues[name]) == 0 {
+				// Keep the ring exact: a stale empty-queue entry would let
+				// the tenant's next Acquire append a duplicate.
+				s.next = idx
+				s.dropFromRing(name)
+			} else {
+				s.next = (idx + 1) % n
+			}
 			granted = true
 			break
 		}
@@ -212,33 +286,4 @@ func (s *Scheduler) pump() {
 			return
 		}
 	}
-}
-
-// shed drops abandoned waiters from queue heads and removes tenants with
-// nothing queued from the ring, rotating it so the scan position is
-// preserved (the tenant after the last grant scans first). Caller holds
-// s.mu.
-func (s *Scheduler) shed() {
-	if len(s.ring) == 0 {
-		return
-	}
-	if s.next >= len(s.ring) {
-		s.next = 0
-	}
-	rotated := append(append([]string(nil), s.ring[s.next:]...), s.ring[:s.next]...)
-	kept := rotated[:0]
-	for _, name := range rotated {
-		q := s.queues[name]
-		for len(q) > 0 && q[0].abandoned {
-			q = q[1:]
-		}
-		if len(q) == 0 {
-			delete(s.queues, name)
-			continue
-		}
-		s.queues[name] = q
-		kept = append(kept, name)
-	}
-	s.ring = kept
-	s.next = 0
 }

@@ -251,6 +251,212 @@ func TestSchedulerUnlimited(t *testing.T) {
 	}
 }
 
+// checkRingExact asserts the scheduler's structural invariant: every ring
+// entry is unique and has a non-empty queue, and every non-empty queue has
+// a ring entry.
+func checkRingExact(t *testing.T, s *Scheduler) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	for _, name := range s.ring {
+		if seen[name] {
+			t.Fatalf("ring holds %q twice: %v", name, s.ring)
+		}
+		seen[name] = true
+		if len(s.queues[name]) == 0 {
+			t.Fatalf("ring entry %q has empty queue", name)
+		}
+	}
+	for name, q := range s.queues {
+		if len(q) > 0 && !seen[name] {
+			t.Fatalf("tenant %q has %d waiters but no ring entry", name, len(q))
+		}
+	}
+}
+
+// TestSchedulerRingNoDuplicates pins the ring-duplication regression: a
+// grant that empties a tenant's queue while the pool is full used to leave
+// the stale ring entry behind, so the tenant's next Acquire appended the
+// name a second time and doubled its round-robin weight forever.
+func TestSchedulerRingNoDuplicates(t *testing.T) {
+	s := NewScheduler(1, regWith(t, Config{Name: "a"}, Config{Name: "b"}))
+	hold := grab(t, s, "a")
+	q1 := enqueue(s, "a")
+	// Release: pump grants q1 and empties a's queue with the pool full
+	// again — exactly the state that used to strand a's ring entry.
+	hold()
+	r1 := granted(t, q1)
+	checkRingExact(t, s)
+	q2 := enqueue(s, "a")
+	qb := enqueue(s, "b")
+	checkRingExact(t, s)
+	// Rotation must now alternate a, b — with a duplicated ring entry a
+	// would be scanned twice per pass.
+	r1()
+	granted(t, q2)()
+	granted(t, qb)()
+	checkRingExact(t, s)
+}
+
+// TestSchedulerCancelClearsDemand: a cancelled waiter leaves the queue and
+// the ring immediately, so it stops counting as demand in share() — it
+// used to linger until a later grant pass swept it, transiently shrinking
+// other tenants' shares on phantom demand.
+func TestSchedulerCancelClearsDemand(t *testing.T) {
+	s := NewScheduler(2, regWith(t, Config{Name: "a"}, Config{Name: "b"}))
+	ra := grab(t, s, "a")
+	rb := grab(t, s, "b")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "b")
+		errCh <- err
+	}()
+	for i := 0; i < 1000 && s.Queued("b") == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Queued("b") != 1 {
+		t.Fatal("waiter never queued")
+	}
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("cancelled Acquire: err = %v", err)
+	}
+	s.mu.Lock()
+	_, stillQueued := s.queues["b"]
+	ringLen := len(s.ring)
+	s.mu.Unlock()
+	if stillQueued || ringLen != 0 {
+		t.Fatalf("cancelled waiter left residue: queues[b] present=%v ring=%d", stillQueued, ringLen)
+	}
+	checkRingExact(t, s)
+	ra()
+	rb()
+}
+
+// TestSchedulerWaitObserver: the observer fires once per successful
+// Acquire — zero seconds for inline grants, elapsed wait for queued ones —
+// and never for cancelled waiters.
+func TestSchedulerWaitObserver(t *testing.T) {
+	s := NewScheduler(1, regWith(t, Config{Name: "a"}))
+	var mu sync.Mutex
+	type obs struct {
+		tenant  string
+		seconds float64
+	}
+	var got []obs
+	s.SetWaitObserver(func(tenant string, seconds float64) {
+		mu.Lock()
+		got = append(got, obs{tenant, seconds})
+		mu.Unlock()
+	})
+
+	hold := grab(t, s, "a") // inline grant: 0s
+	q := enqueue(s, "a")    // queued grant: >= 0s after a real wait
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Acquire(ctx, "a"); err == nil {
+		t.Fatal("pre-cancelled Acquire succeeded")
+	}
+
+	hold()
+	granted(t, q)()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("observer fired %d times, want 2: %v", len(got), got)
+	}
+	if got[0].tenant != "a" || got[0].seconds != 0 {
+		t.Fatalf("inline grant observed as %+v, want a/0", got[0])
+	}
+	if got[1].tenant != "a" || got[1].seconds < 0.015 {
+		t.Fatalf("queued grant observed as %+v, want a/>=15ms", got[1])
+	}
+}
+
+// TestSchedulerCancelGrantRace is the targeted slot-leak probe: waiters
+// park in Acquire's select while a separate goroutine fires their
+// cancellation, so grants and cancellations land concurrently on live
+// waiters (TestSchedulerStress only cancels before Acquire or after it
+// returns). Worker goroutines keep slots churning so the pump is granting
+// throughout. Under -race this is also the grant/cancel data-race suite.
+// Invariant afterwards: zero slots held, zero waiters queued, exact ring.
+func TestSchedulerCancelGrantRace(t *testing.T) {
+	reg := regWith(t, Config{Name: "a", Weight: 2}, Config{Name: "b"}, Config{Name: "c"})
+	s := NewScheduler(2, reg)
+	names := []string{"a", "b", "c", Default}
+	iters := 150
+	if testing.Short() {
+		iters = 40
+	}
+	var wg sync.WaitGroup
+	// Workers: acquire, hold briefly, release — constant grant traffic.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				release, err := s.Acquire(context.Background(), names[(g+i)%len(names)])
+				if err != nil {
+					t.Errorf("worker Acquire: %v", err)
+					return
+				}
+				if i%5 == 0 {
+					time.Sleep(time.Microsecond)
+				}
+				release()
+			}
+		}(g)
+	}
+	// Cancellers: park in the select, then get cancelled from the side at
+	// staggered delays so the cancellation races pump grants.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan struct{})
+				go func(delay int) {
+					if delay > 0 {
+						time.Sleep(time.Duration(delay) * time.Microsecond)
+					}
+					cancel()
+					close(done)
+				}(i % 7)
+				release, err := s.Acquire(ctx, names[(g+i)%len(names)])
+				if err == nil {
+					release()
+				}
+				<-done
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, name := range names {
+		if got := s.InFlight(name); got != 0 {
+			t.Fatalf("tenant %s leaked %d slots", name, got)
+		}
+		if got := s.Queued(name); got != 0 {
+			t.Fatalf("tenant %s left %d waiters queued", name, got)
+		}
+	}
+	s.mu.Lock()
+	total, ringLen := s.total, len(s.ring)
+	s.mu.Unlock()
+	if total != 0 {
+		t.Fatalf("scheduler leaked %d total slots", total)
+	}
+	if ringLen != 0 {
+		t.Fatalf("ring not drained: %d entries", ringLen)
+	}
+	checkRingExact(t, s)
+}
+
 // TestSchedulerStress hammers Acquire/release from many goroutines across
 // tenants with random cancellations; run under -race this is the
 // scheduler's data-race suite. Invariant at the end: no slots leak.

@@ -153,5 +153,11 @@ func (r *Reconciler) Result() *Result { return r.sess.Result() }
 // Len returns the current number of links, seeds included.
 func (r *Reconciler) Len() int { return r.sess.Len() }
 
+// FrontierActive reports whether an EngineHybrid reconciler has handed off
+// to its frontier regime; always false for fixed engines. Readable
+// wherever the session is — between buckets on the run goroutine, or any
+// time no run is in flight.
+func (r *Reconciler) FrontierActive() bool { return r.sess.FrontierActive() }
+
 // Options returns the validated configuration the Reconciler runs with.
 func (r *Reconciler) Options() Options { return r.opts }
