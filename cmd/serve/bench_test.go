@@ -98,14 +98,14 @@ func BenchmarkStoreCheckpoint(b *testing.B) {
 	}
 }
 
-// BenchmarkStoreRecovery measures boot-time chain replay: loading one job
-// back from a chain of one full plus 7 deltas (the -full-every 8 worst
-// case) including graph reads and full state re-validation. The engine is
-// pinned to frontier: the default hybrid's regime handoff re-anchors the
-// chain with a mid-run full, which (with retention) would change the chain
-// shape this bench exists to measure.
-func BenchmarkStoreRecovery(b *testing.B) {
-	st, err := newStore(b.TempDir(), storeConfig{shards: 1, fullEvery: 8, keep: 2})
+// benchRecoveryChain builds the recovery-bench fixture: one job persisted
+// under cfg with a chain of one full plus 7 deltas (the -full-every 8 worst
+// case). The engine is pinned to frontier: the default hybrid's regime
+// handoff re-anchors the chain with a mid-run full, which (with retention)
+// would change the chain shape these benches exist to measure.
+func benchRecoveryChain(b *testing.B, cfg storeConfig) *store {
+	b.Helper()
+	st, err := newStore(b.TempDir(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -143,10 +143,39 @@ func BenchmarkStoreRecovery(b *testing.B) {
 	if n := len(js.listChain()); n != 8 {
 		b.Fatalf("chain has %d records, want 8", n)
 	}
+	return st
+}
+
+// BenchmarkStoreRecovery measures boot-time chain replay: loading one job
+// back from the full-plus-7-deltas chain, including graph reads and full
+// state re-validation, with graphs decoded onto the heap.
+func BenchmarkStoreRecovery(b *testing.B) {
+	st := benchRecoveryChain(b, storeConfig{shards: 1, fullEvery: 8, keep: 2})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, skipped := st.loadAll(); len(skipped) != 0 {
 			b.Fatalf("recovery skipped: %v", skipped)
 		}
+	}
+}
+
+// BenchmarkStoreRecoveryMapped is BenchmarkStoreRecovery with -mmap: the
+// graphs come back as read-only file mappings instead of heap decodes, so
+// the delta between the two rows is the syscall path's recovery win. The
+// per-iteration closeMapped mirrors the server's shutdown path and keeps
+// the bench from accumulating mappings across iterations.
+func BenchmarkStoreRecoveryMapped(b *testing.B) {
+	st := benchRecoveryChain(b, storeConfig{shards: 1, fullEvery: 8, keep: 2, mmap: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps, _, skipped := st.loadAll()
+		if len(skipped) != 0 {
+			b.Fatalf("recovery skipped: %v", skipped)
+		}
+		b.StopTimer()
+		for _, p := range ps {
+			p.closeMapped()
+		}
+		b.StartTimer()
 	}
 }

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	serve -addr :8080 [-data-dir /var/lib/reconcile] [-shards 4]
-//	      [-full-every 8] [-keep 3] [-tenants tenants.json]
-//	      [-admin-token $TOKEN] [-run-slots N] [-max-body-bytes N]
-//	      [-shutdown-grace 15s]
+//	      [-full-every 8] [-keep 3] [-mmap] [-range-nodes 1048576]
+//	      [-tenants tenants.json] [-admin-token $TOKEN] [-run-slots N]
+//	      [-max-body-bytes N] [-shutdown-grace 15s]
 //
 // With -data-dir the server is crash-safe: every job is persisted to a
 // sharded, delta-checkpointed store under its tenant's root
@@ -23,6 +23,20 @@
 // per job. Pre-tenant -data-dir layouts (flat or root-sharded) migrate
 // automatically into the default tenant's root at boot. Without -data-dir
 // jobs live in RAM only.
+//
+// With -mmap (the default where the platform supports it) new jobs' graphs
+// are written in the mappable container format and every job's graphs are
+// served from read-only file mappings after a restart: recovery pages the
+// immutable CSR arrays in on demand instead of re-decoding them onto the
+// heap, and concurrent processes share one page-cache copy. Either setting
+// reads graph files written under the other, so -mmap can be flipped over
+// an existing data directory without migration (legacy files are decoded
+// onto the heap behind the same lifetime API). -range-nodes shards the
+// checkpoint state of large jobs: a job whose graphs total more than
+// -range-nodes nodes checkpoints as per-node-range shard files plus a small
+// manifest — shards are written (and replayed at boot) in parallel, and the
+// manifest's durable rename is the checkpoint's commit point. 0 disables
+// sharding; existing jobs keep the chain geometry they were created with.
 //
 // Multi-tenancy: every job belongs to a tenant. The un-namespaced routes
 // below operate on the built-in "default" tenant, so single-tenant
@@ -106,6 +120,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/sociograph/reconcile"
 	"github.com/sociograph/reconcile/internal/tenant"
 )
 
@@ -115,6 +130,8 @@ func main() {
 	shards := flag.Int("shards", 4, "shard directories new jobs hash across within each tenant's root; each is an independent fsync domain (mount on separate volumes to spread checkpoint IO)")
 	fullEvery := flag.Int("full-every", 8, "checkpoint chain period: one full state snapshot, then full-every-1 cheap delta records (1 = every checkpoint full)")
 	keep := flag.Int("keep", 3, "full checkpoint chains retained per job; older records are removed after each new full and on boot")
+	mmapGraphs := flag.Bool("mmap", reconcile.MmapSupported, "serve job graphs from read-only file mappings: new graphs are written in the mappable container format and restored jobs page them in on demand (either setting reads files written under the other)")
+	rangeNodes := flag.Int("range-nodes", 1<<20, "node-range shard target: jobs whose graphs total more than this many nodes checkpoint as per-range shard files plus a manifest, written and replayed in parallel (0: always one monolithic record)")
 	tenantsFile := flag.String("tenants", "", "tenant registry JSON ({\"tenants\": [{name, token|tokenEnv, weight, maxJobs, maxNodes, maxCheckpointBytes}, ...]}); empty: only the open default tenant")
 	adminToken := flag.String("admin-token", os.Getenv("RECONCILE_ADMIN_TOKEN"), "bearer token for /v1/admin (default $RECONCILE_ADMIN_TOKEN; empty leaves the admin API open)")
 	runSlots := flag.Int("run-slots", runtime.GOMAXPROCS(0), "concurrent run goroutines across all tenants, shared by weighted fair scheduling (0: unlimited)")
@@ -132,7 +149,13 @@ func main() {
 	var st *store
 	if *dataDir != "" {
 		var err error
-		if st, err = newStore(*dataDir, storeConfig{shards: *shards, fullEvery: *fullEvery, keep: *keep}); err != nil {
+		if st, err = newStore(*dataDir, storeConfig{
+			shards:     *shards,
+			fullEvery:  *fullEvery,
+			keep:       *keep,
+			mmap:       *mmapGraphs,
+			rangeNodes: *rangeNodes,
+		}); err != nil {
 			log.Fatalf("serve: %v", err)
 		}
 	}
@@ -186,5 +209,6 @@ func main() {
 		log.Printf("serve: %v", err)
 		os.Exit(1)
 	}
+	s.closeMappings() // drained: no run can touch a mapped graph anymore
 	log.Printf("serve: drained; final checkpoints written")
 }

@@ -98,6 +98,11 @@ type job struct {
 	js          *jobStore      // the job's slice of the store; nil without -data-dir
 	untilStable bool
 	maxSweeps   int
+	// mg1/mg2 hold the graphs' file mappings for jobs restored under -mmap
+	// (nil otherwise): the Reconciler reads the mapped arrays in place, so
+	// the job owns their lifetime — runs pin them (pinGraphs), and they are
+	// closed only after the run goroutine drains, on delete and at shutdown.
+	mg1, mg2 *reconcile.MappedGraph
 
 	mu             sync.Mutex
 	rec            *reconcile.Reconciler
@@ -293,10 +298,13 @@ func newServerWith(st *store, cfg serverConfig) (*server, []error) {
 			status:      p.meta.Status,
 			errMsg:      p.meta.Error,
 			seeds:       p.meta.Seeds,
+			mg1:         p.mg1,
+			mg2:         p.mg2,
 		}
 		rec, err := reconcile.RestoreSessionState(p.g1, p.g2, p.state,
 			reconcile.WithProgress(s.progressHook(j)))
 		if err != nil {
+			p.closeMapped()
 			skipped = append(skipped, fmt.Errorf("store: tenant %s job %s: %w", p.tenant, p.meta.ID, err))
 			continue
 		}
@@ -658,8 +666,46 @@ func (s *server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 			return
 		}
 		defer release()
+		unpin, err := j.pinGraphs()
+		if err != nil {
+			j.finish(err) // mappings already closed: the job is being deleted
+			return
+		}
+		defer unpin()
 		j.finish(run(ctx))
 	}()
+}
+
+// pinGraphs pins the job's graph mappings for the duration of a run, so a
+// Close racing the run (delete, shutdown) waits for the run's bucket
+// boundary instead of unmapping memory the engines are scanning. A no-op
+// for heap-backed jobs.
+func (j *job) pinGraphs() (unpin func(), err error) {
+	if j.mg1 == nil {
+		return func() {}, nil
+	}
+	if _, err := j.mg1.Acquire(); err != nil {
+		return nil, err
+	}
+	if _, err := j.mg2.Acquire(); err != nil {
+		j.mg1.Release()
+		return nil, err
+	}
+	return func() {
+		j.mg2.Release()
+		j.mg1.Release()
+	}, nil
+}
+
+// closeMappings closes the job's graph mappings. Callers must guarantee no
+// run goroutine is in flight (pending.Wait has returned).
+func (j *job) closeMappings() {
+	if j.mg1 != nil {
+		j.mg1.Close()
+	}
+	if j.mg2 != nil {
+		j.mg2.Close()
+	}
 }
 
 // createJob handles POST .../jobs: admit against the tenant's quotas, build
@@ -998,6 +1044,7 @@ func (s *server) deleteJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 		j.js.purge()
 		j.js.releaseBase()
 	}
+	j.closeMappings()
 	t.ReleaseNodes(int64(j.n1) + int64(j.n2))
 	s.metrics.jobsDeleted.Inc()
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
@@ -1244,4 +1291,29 @@ func (s *server) awaitDrain(ctx context.Context, jobs []*job) error {
 // HTTP listener to drain in between (tests).
 func (s *server) shutdown(ctx context.Context) error {
 	return s.awaitDrain(ctx, s.cancelRunning())
+}
+
+// closeMappings closes every job's mapped graph files — the -mmap lifetime's
+// shutdown half. Call only after the jobs have drained (awaitDrain); a
+// restart reopens the mappings from the store.
+func (s *server) closeMappings() {
+	s.mu.Lock()
+	var jobs []*job
+	for _, tj := range s.tenants {
+		for _, j := range tj.jobs {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	// Close in a stable order so any unmap errors surface in the same
+	// sequence run to run.
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].tname != jobs[b].tname {
+			return jobs[a].tname < jobs[b].tname
+		}
+		return jobs[a].num < jobs[b].num
+	})
+	for _, j := range jobs {
+		j.closeMappings()
+	}
 }

@@ -95,6 +95,19 @@ type storeConfig struct {
 	shards    int // shard directories for new jobs, per tenant
 	fullEvery int // chain period: one full, then fullEvery-1 deltas
 	keep      int // full chains retained per job
+	// mmap writes new jobs' graphs in the mappable container format and
+	// loads graph files through reconcile.OpenGraphMapped, so restored jobs
+	// serve their immutable CSR arrays straight from read-only file mappings
+	// (falling back to heap copies where mmap is unavailable). Either
+	// setting reads files written under the other.
+	mmap bool
+	// rangeNodes is the node-range shard target: a new job whose graphs
+	// total more than rangeNodes nodes checkpoints as per-range shard files
+	// plus a manifest (written and replayed in parallel) instead of one
+	// monolithic record per checkpoint. 0 disables ranged chains. The shard
+	// count is fixed per job at submission; existing jobs keep the geometry
+	// their chain was created with.
+	rangeNodes int
 }
 
 func newStore(dir string, cfg storeConfig) (*store, error) {
@@ -334,6 +347,10 @@ type jobMeta struct {
 	UntilStable bool        `json:"untilStable"`
 	MaxSweeps   int         `json:"maxSweeps"`
 	Phases      []phaseJSON `json:"phases"`
+	// Ranges is the job's chain geometry: > 1 means checkpoints are written
+	// as that many per-node-range shard files plus a manifest. Fixed when
+	// the job is submitted; recovery replays with the same geometry.
+	Ranges int `json:"ranges,omitempty"`
 }
 
 // jobStore is one job's slice of the store: its shard directory, checkpoint
@@ -349,6 +366,11 @@ type jobStore struct {
 	sinceFull int // chain records written since the last full
 	haveBase  bool
 	ckpt      reconcile.Checkpointer
+	// ranges > 1 switches the chain to ranged form: each checkpoint is
+	// ranges shard files plus a manifest, the manifest written last as the
+	// commit point. rckpt is its checkpointer, built lazily.
+	ranges int
+	rckpt  *reconcile.RangedCheckpointer
 }
 
 func (js *jobStore) path(suffix string) string {
@@ -357,6 +379,11 @@ func (js *jobStore) path(suffix string) string {
 
 func (js *jobStore) chainPath(seq int, kind string) string {
 	return js.path(fmt.Sprintf(".ckpt-%08d.%s", seq, kind))
+}
+
+// rangePath names one range shard of a ranged checkpoint.
+func (js *jobStore) rangePath(seq, rng int, kind string) string {
+	return js.path(fmt.Sprintf(".ckpt-%08d.r%04d.%s", seq, rng, kind))
 }
 
 // fileSize returns a file's size, or 0 when it does not exist.
@@ -436,13 +463,22 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// saveGraphs persists the job's two graphs. Called once at submission.
+// saveGraphs persists the job's two graphs — in the mappable container
+// format under -mmap, so a restart serves them from file mappings — and
+// fixes the job's chain geometry from their size. Called once at submission.
 func (js *jobStore) saveGraphs(g1, g2 *reconcile.Graph) error {
+	cfg := js.ts.store.cfg
+	if cfg.rangeNodes > 0 {
+		js.ranges = reconcile.StateRangeCount(g1.NumNodes(), g2.NumNodes(), cfg.rangeNodes)
+	}
 	for _, f := range []struct {
 		suffix string
 		g      *reconcile.Graph
 	}{{".g1", g1}, {".g2", g2}} {
 		err := js.writeTracked(js.path(f.suffix), func(w *os.File) error {
+			if cfg.mmap {
+				return reconcile.WriteGraphMapped(w, f.g)
+			}
 			return reconcile.WriteGraphBinary(w, f.g)
 		})
 		if err != nil {
@@ -461,6 +497,10 @@ func (js *jobStore) saveGraphs(g1, g2 *reconcile.Graph) error {
 // re-anchors the chain with a full instead of building on a record that may
 // never have become durable.
 func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
+	meta.Ranges = js.ranges
+	if js.ranges > 1 {
+		return js.checkpointRanged(rec, meta)
+	}
 	seq := js.seq + 1
 	wantFull := !js.haveBase || js.sinceFull+1 >= js.ts.store.cfg.fullEvery
 	if !wantFull {
@@ -489,6 +529,10 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 		js.retireOld()
 	}
 	js.seq = seq
+	return js.writeMeta(meta)
+}
+
+func (js *jobStore) writeMeta(meta jobMeta) error {
 	err := js.writeTracked(js.path(".meta.json"), func(w *os.File) error {
 		return json.NewEncoder(w).Encode(meta)
 	})
@@ -498,6 +542,79 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 	return nil
 }
 
+// checkpointRanged appends one ranged checkpoint: the ranges shard files
+// written concurrently (each atomically, so every core the host has can
+// fsync a slice of the state at once), then the manifest — whose durable
+// presence is the checkpoint's commit point. A crash before the manifest
+// rename leaves orphan shard files recovery ignores; a crash after it left a
+// complete checkpoint. Failure handling matches the monolithic path: any
+// write error poisons the delta base so the next checkpoint re-anchors with
+// a full.
+func (js *jobStore) checkpointRanged(rec *reconcile.Reconciler, meta jobMeta) error {
+	seq := js.seq + 1
+	if js.rckpt == nil {
+		js.rckpt = reconcile.NewRangedCheckpointer(js.ranges)
+	}
+	wantFull := !js.haveBase || js.sinceFull+1 >= js.ts.store.cfg.fullEvery
+	ck, err := js.rckpt.Prepare(rec, wantFull)
+	if errors.Is(err, reconcile.ErrFullRequired) {
+		wantFull = true
+		ck, err = js.rckpt.Prepare(rec, true)
+	}
+	if err != nil {
+		js.haveBase = false
+		return fmt.Errorf("store: ranged checkpoint of %s: %w", js.id, err)
+	}
+	kind := "delta"
+	if ck.Full() {
+		kind = "full"
+	}
+	errs := make([]error, ck.Ranges())
+	var wg sync.WaitGroup
+	for j := 0; j < ck.Ranges(); j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = js.writeTracked(js.rangePath(seq, j, kind), func(w *os.File) error {
+				return ck.EncodePart(j, w)
+			})
+		}(j)
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			js.haveBase = false
+			return fmt.Errorf("store: ranged checkpoint of %s: %w", js.id, werr)
+		}
+	}
+	if err := js.writeTracked(js.chainPath(seq, "manifest"), func(w *os.File) error {
+		return ck.EncodeManifest(w)
+	}); err != nil {
+		js.haveBase = false
+		return fmt.Errorf("store: ranged checkpoint of %s: %w", js.id, err)
+	}
+	js.rckpt.Commit(ck)
+	// A failed attempt at this seq may have left shard files of the other
+	// kind; now that the manifest committed this one, drop them so recovery
+	// never sees two candidate shard sets for one checkpoint.
+	other := "full"
+	if ck.Full() {
+		other = "delta"
+	}
+	for j := 0; j < ck.Ranges(); j++ {
+		js.removeTracked(js.rangePath(seq, j, other))
+	}
+	if ck.Full() {
+		js.sinceFull = 0
+		js.haveBase = true
+		js.retireOld()
+	} else {
+		js.sinceFull++
+	}
+	js.seq = seq
+	return js.writeMeta(meta)
+}
+
 // releaseBase drops the in-memory delta base — a full deep copy of the
 // session state the Checkpointer keeps to diff the next record against.
 // Called once a job goes idle: idle jobs checkpoint rarely, holding
@@ -505,6 +622,7 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 // chain record simply re-anchors with a full.
 func (js *jobStore) releaseBase() {
 	js.ckpt = reconcile.Checkpointer{}
+	js.rckpt = nil
 	js.haveBase = false
 }
 
@@ -521,14 +639,19 @@ func (js *jobStore) purge() {
 	}
 }
 
-// chainRecord locates one checkpoint file of a job's chain.
+// chainRecord locates one checkpoint file of a job's chain. kind is "full"
+// or "delta" for a monolithic record, "manifest" for a ranged checkpoint's
+// commit record, or "part" (with rng and pfull) for one range shard.
 type chainRecord struct {
-	seq  int
-	full bool
-	path string
+	seq   int
+	full  bool // monolithic full snapshot
+	kind  string
+	rng   int
+	pfull bool // a "part" holding a full state record (vs a delta)
+	path  string
 }
 
-// listChain returns the job's checkpoint records sorted by sequence number.
+// listChain returns the job's checkpoint files sorted by sequence number.
 func (js *jobStore) listChain() []chainRecord {
 	matches, err := filepath.Glob(js.path(".ckpt-*.*"))
 	if err != nil {
@@ -550,11 +673,69 @@ func (js *jobStore) listChain() []chainRecord {
 		}
 		switch kind {
 		case "full", "delta":
-			out = append(out, chainRecord{seq: seq, full: kind == "full", path: path})
+			out = append(out, chainRecord{seq: seq, full: kind == "full", kind: kind, path: path})
+		case "manifest":
+			out = append(out, chainRecord{seq: seq, kind: "manifest", path: path})
+		default:
+			// rNNNN.full / rNNNN.delta: one range shard of a ranged checkpoint.
+			rngStr, pkind, ok := strings.Cut(kind, ".")
+			if !ok || len(rngStr) < 2 || rngStr[0] != 'r' {
+				continue
+			}
+			rng, err := strconv.Atoi(rngStr[1:])
+			if err != nil || rng < 0 || (pkind != "full" && pkind != "delta") {
+				continue
+			}
+			out = append(out, chainRecord{seq: seq, kind: "part", rng: rng, pfull: pkind == "full", path: path})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].seq != out[b].seq {
+			return out[a].seq < out[b].seq
+		}
+		return out[a].path < out[b].path
+	})
 	return out
+}
+
+// seqGroup collects the files of one checkpoint sequence number: at most one
+// monolithic record, and/or a ranged checkpoint's manifest and shard files.
+type seqGroup struct {
+	seq       int
+	mono      *chainRecord
+	manifest  string
+	partFull  map[int]string
+	partDelta map[int]string
+}
+
+// groupChain folds per-file records into per-checkpoint groups, ascending.
+func groupChain(records []chainRecord) []seqGroup {
+	var groups []seqGroup
+	bySeq := map[int]int{}
+	for i := range records {
+		rec := &records[i]
+		gi, ok := bySeq[rec.seq]
+		if !ok {
+			gi = len(groups)
+			bySeq[rec.seq] = gi
+			groups = append(groups, seqGroup{seq: rec.seq, partFull: map[int]string{}, partDelta: map[int]string{}})
+		}
+		g := &groups[gi]
+		switch rec.kind {
+		case "full", "delta":
+			g.mono = rec
+		case "manifest":
+			g.manifest = rec.path
+		case "part":
+			if rec.pfull {
+				g.partFull[rec.rng] = rec.path
+			} else {
+				g.partDelta[rec.rng] = rec.path
+			}
+		}
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].seq < groups[b].seq })
+	return groups
 }
 
 // retireOld enforces keep-last-K retention: chain records older than the
@@ -563,10 +744,14 @@ func (js *jobStore) listChain() []chainRecord {
 // job on boot.
 func (js *jobStore) retireOld() {
 	records := js.listChain()
-	fullSeqs := make([]int, 0, len(records))
-	for _, rec := range records {
-		if rec.full {
-			fullSeqs = append(fullSeqs, rec.seq)
+	groups := groupChain(records)
+	fullSeqs := make([]int, 0, len(groups))
+	for _, g := range groups {
+		// An anchor is a monolithic full, or a committed ranged full
+		// (manifest plus at least one full shard — completeness is recovery's
+		// concern; retention only needs to know where chains can start).
+		if (g.mono != nil && g.mono.full) || (g.manifest != "" && len(g.partFull) > 0) {
+			fullSeqs = append(fullSeqs, g.seq)
 		}
 	}
 	if len(fullSeqs) == 0 {
@@ -583,27 +768,36 @@ func (js *jobStore) retireOld() {
 	js.removeTracked(js.path(".state")) // pre-shard layout, superseded by the chain
 }
 
-// recoverState replays the job's chain: the newest readable full snapshot
-// plus its contiguous, applicable deltas. dropped counts the chain records
-// past the replayed prefix (corrupt, gapped, or built on a corrupt full) —
-// zero means the restored state is the newest durable checkpoint. With no
-// readable chain it falls back to a legacy flat .state snapshot.
+// recoverState replays the job's chain: the newest readable full checkpoint
+// (monolithic, or a ranged manifest plus all its full shards) and the
+// contiguous, applicable checkpoints that follow it. dropped counts the
+// checkpoints past the replayed prefix (corrupt, gapped, torn, or built on
+// a corrupt full) — zero means the restored state is the newest durable
+// checkpoint. With no readable chain it falls back to a legacy flat .state
+// snapshot.
 func (js *jobStore) recoverState() (st *reconcile.SessionState, dropped int, err error) {
-	records := js.listChain()
+	groups := groupChain(js.listChain())
 	var firstErr error
-	for i := len(records) - 1; i >= 0; i-- {
-		if !records[i].full {
+	for i := len(groups) - 1; i >= 0; i-- {
+		gr := groups[i]
+		var lastApplied int
+		var rerr error
+		switch {
+		case gr.manifest != "" && len(gr.partFull) > 0:
+			st, lastApplied, rerr = js.replayRangedFrom(groups, i)
+		case gr.mono != nil && gr.mono.full:
+			st, lastApplied, rerr = js.replayMonoFrom(groups, i)
+		default:
 			continue
 		}
-		st, lastApplied, rerr := js.replayFrom(records, i)
 		if rerr != nil {
 			if firstErr == nil {
 				firstErr = rerr
 			}
 			continue
 		}
-		for _, rec := range records {
-			if rec.seq > lastApplied {
+		for _, g := range groups {
+			if g.seq > lastApplied {
 				dropped++
 			}
 		}
@@ -622,28 +816,29 @@ func (js *jobStore) recoverState() (st *reconcile.SessionState, dropped int, err
 	if err != nil {
 		return nil, 0, fmt.Errorf("legacy state: %w", err)
 	}
-	return st, len(records), nil
+	return st, len(groups), nil
 }
 
-// replayFrom reads the full record at records[i] and applies the deltas
-// that follow it, stopping at the first gap, unreadable record, or delta
-// that does not fit — the last consistent prefix.
-func (js *jobStore) replayFrom(records []chainRecord, i int) (*reconcile.SessionState, int, error) {
-	f, err := os.Open(records[i].path)
+// replayMonoFrom reads the monolithic full at groups[i] and applies the
+// monolithic deltas that follow it, stopping at the first gap, unreadable
+// record, or delta that does not fit — the last consistent prefix.
+func (js *jobStore) replayMonoFrom(groups []seqGroup, i int) (*reconcile.SessionState, int, error) {
+	rec := groups[i].mono
+	f, err := os.Open(rec.path)
 	if err != nil {
-		return nil, 0, fmt.Errorf("chain full #%d: %w", records[i].seq, err)
+		return nil, 0, fmt.Errorf("chain full #%d: %w", rec.seq, err)
 	}
 	st, err := reconcile.ReadSessionState(f)
 	f.Close()
 	if err != nil {
-		return nil, 0, fmt.Errorf("chain full #%d: %w", records[i].seq, err)
+		return nil, 0, fmt.Errorf("chain full #%d: %w", rec.seq, err)
 	}
-	lastApplied := records[i].seq
-	for _, rec := range records[i+1:] {
-		if rec.full || rec.seq != lastApplied+1 {
+	lastApplied := rec.seq
+	for _, g := range groups[i+1:] {
+		if g.mono == nil || g.mono.full || g.seq != lastApplied+1 {
 			break // a later full starts its own chain; a gap ends this one
 		}
-		df, err := os.Open(rec.path)
+		df, err := os.Open(g.mono.path)
 		if err != nil {
 			break
 		}
@@ -655,9 +850,98 @@ func (js *jobStore) replayFrom(records []chainRecord, i int) (*reconcile.Session
 		if err := st.Apply(d); err != nil {
 			break
 		}
-		lastApplied = rec.seq
+		lastApplied = g.seq
 	}
 	return st, lastApplied, nil
+}
+
+// readManifestFile reads one ranged checkpoint's manifest record.
+func readManifestFile(path string) (*reconcile.RangeManifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return reconcile.ReadRangeManifest(f)
+}
+
+// replayRangedFrom reads the ranged full at groups[i] — its manifest and
+// every full shard — and applies the ranged delta checkpoints that follow
+// it. Each later checkpoint is replayed all-or-nothing onto shard clones
+// and then merge-verified against its own manifest, so a torn or corrupt
+// checkpoint ends the replay at the last consistent prefix instead of
+// restoring a mixed state.
+func (js *jobStore) replayRangedFrom(groups []seqGroup, i int) (*reconcile.SessionState, int, error) {
+	anchor := groups[i]
+	man, err := readManifestFile(anchor.manifest)
+	if err != nil {
+		return nil, 0, fmt.Errorf("chain manifest #%d: %w", anchor.seq, err)
+	}
+	parts := make([]*reconcile.SessionState, man.Ranges())
+	for j := range parts {
+		path, ok := anchor.partFull[j]
+		if !ok {
+			return nil, 0, fmt.Errorf("chain full #%d: missing range %d of %d", anchor.seq, j, man.Ranges())
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("chain full #%d range %d: %w", anchor.seq, j, err)
+		}
+		parts[j], err = reconcile.ReadSessionState(f)
+		f.Close()
+		if err != nil {
+			return nil, 0, fmt.Errorf("chain full #%d range %d: %w", anchor.seq, j, err)
+		}
+	}
+	merged, err := reconcile.MergeRangeParts(man, parts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("chain full #%d: %w", anchor.seq, err)
+	}
+	lastApplied := anchor.seq
+	for _, g := range groups[i+1:] {
+		if g.seq != lastApplied+1 || g.manifest == "" || len(g.partFull) > 0 {
+			break // a later full starts its own chain; a gap ends this one
+		}
+		m2, err := readManifestFile(g.manifest)
+		if err != nil {
+			break
+		}
+		clones := make([]*reconcile.SessionState, len(parts))
+		ok := true
+		for j := range parts {
+			path, have := g.partDelta[j]
+			if !have {
+				ok = false
+				break
+			}
+			df, err := os.Open(path)
+			if err != nil {
+				ok = false
+				break
+			}
+			d, err := reconcile.ReadStateDelta(df)
+			df.Close()
+			if err != nil {
+				ok = false
+				break
+			}
+			clones[j] = parts[j].Clone()
+			if err := clones[j].Apply(d); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		m, err := reconcile.MergeRangeParts(m2, clones)
+		if err != nil {
+			break
+		}
+		parts, merged = clones, m
+		lastApplied = g.seq
+	}
+	return merged, lastApplied, nil
 }
 
 // persisted is one job loaded back from disk.
@@ -667,7 +951,21 @@ type persisted struct {
 	g1, g2  *reconcile.Graph
 	state   *reconcile.SessionState
 	js      *jobStore
-	dropped int // trailing chain records recovery had to abandon
+	dropped int // trailing checkpoints recovery had to abandon
+	// mg1/mg2 are the graphs' mapping handles when the store runs with
+	// -mmap: g1/g2 alias file-backed memory whose lifetime the server must
+	// tie to the job (Close on delete and at shutdown). nil without -mmap.
+	mg1, mg2 *reconcile.MappedGraph
+}
+
+// closeMapped releases the job's graph mappings, if any.
+func (p *persisted) closeMapped() {
+	if p.mg1 != nil {
+		p.mg1.Close()
+	}
+	if p.mg2 != nil {
+		p.mg2.Close()
+	}
 }
 
 // loadAll reads every fully-persisted job, in creation order per tenant,
@@ -738,10 +1036,22 @@ func (ts *tenantStore) load(dir, id string) (persisted, error) {
 	if p.meta.ID != id {
 		return p, fmt.Errorf("meta names job %q", p.meta.ID)
 	}
+	js.ranges = p.meta.Ranges // the chain keeps the geometry it was written with
 	for _, f := range []struct {
 		suffix string
 		dst    **reconcile.Graph
-	}{{".g1", &p.g1}, {".g2", &p.g2}} {
+		mg     **reconcile.MappedGraph
+	}{{".g1", &p.g1, &p.mg1}, {".g2", &p.g2, &p.mg2}} {
+		if ts.store.cfg.mmap {
+			mg, err := reconcile.OpenGraphMapped(js.path(f.suffix))
+			if err != nil {
+				p.closeMapped()
+				return p, fmt.Errorf("graph %s: %w", f.suffix, err)
+			}
+			*f.mg = mg
+			*f.dst = mg.Graph()
+			continue
+		}
 		file, err := os.Open(js.path(f.suffix))
 		if err != nil {
 			return p, err
@@ -754,6 +1064,7 @@ func (ts *tenantStore) load(dir, id string) (persisted, error) {
 		*f.dst = g
 	}
 	if p.state, p.dropped, err = js.recoverState(); err != nil {
+		p.closeMapped()
 		return p, err
 	}
 	// Continue the chain past everything on disk, and re-anchor it with a

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -82,6 +83,14 @@ func Load(cfg LoadConfig) ([]*Package, *token.FileSet, error) {
 		var files []*ast.File
 		for _, e := range entries {
 			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			// Honor build constraints for the host platform, so per-platform
+			// twins (e.g. the mmap syscall path and its portable fallback)
+			// don't collide as redeclarations. The platform-selected file is
+			// the shipped code this build would run; its twin is covered by
+			// the CI lane that builds with the opposite tag set.
+			if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
 				continue
 			}
 			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -86,6 +86,25 @@ func DefaultPolicy() Policy {
 			Packages: []string{"internal/snapshot", "internal/graph", "internal/core", "."},
 		},
 		{
+			// The mmap store makes every byte of a mapped file wire input, so
+			// internal/graph widens the decode-path name net beyond the
+			// generic row above (later rows override earlier ones per
+			// analyzer): the open/parse/validate/merge entry points that
+			// touch mapped memory are held to the same no-panic,
+			// bounded-allocation rules as Decode itself.
+			Analyzer: "no-panic-decode",
+			Packages: []string{"internal/graph"},
+			Options:  map[string]string{"names": "^(Read|read|Decode|decode|Apply|apply|Restore|restore|Unmarshal|unmarshal|Open|open|Merge|merge|parse|validate|view)"},
+		},
+		{
+			// internal/graph writes durable container files (EncodeMappable
+			// output) in tests and tools; any file-writing helper it grows
+			// must use the same temp+fsync+rename discipline as the store.
+			Analyzer: "atomic-write",
+			Packages: []string{"internal/graph"},
+			Options:  map[string]string{"funcs": "atomicWrite", "dirsync": "syncDir"},
+		},
+		{
 			// Library blocking paths stay cancellable: no
 			// context.Background() outside main and tests, ctx parameters
 			// actually threaded, blocking exported APIs take a ctx.

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrMappedClosed is returned by Acquire once Close has begun: the mapping
+// is (or is about to be) gone, and the caller must reopen rather than race
+// the unmap.
+var ErrMappedClosed = errors.New("graph: mapped graph is closed")
+
+// Mapped is a graph whose CSR arrays live in a read-only file mapping — or,
+// on builds without mmap support, in a private heap copy behind the same
+// API. Unlike an ordinary *Graph, a mapped graph has a lifetime: every
+// slice it hands out aliases the mapping, so the mapping may only be
+// unmapped once no reader can still touch it. The refcount protocol makes
+// that safe to state locally:
+//
+//   - short-lived readers call Graph() and stay on the opener's goroutine;
+//   - long-running readers (an engine sweep, a job run) bracket their use
+//     with Acquire/Release;
+//   - the owner calls Close at purge/shutdown, which fails all future
+//     Acquires, waits for outstanding ones to drain, then unmaps.
+//
+// Close blocking until readers drain is the lifetime contract the serve
+// store relies on: deleting a job cannot yank pages out from under a sweep
+// that is still scanning them.
+type Mapped struct {
+	mu     sync.Mutex
+	drain  sync.Cond
+	refs   int
+	closed bool
+	g      *Graph
+	data   []byte // raw mapping; nil for heap-backed instances
+	heap   bool
+}
+
+// OpenMapped opens a mappable container file (EncodeMappable's output),
+// validates its header, checksum, and structural invariants, and returns a
+// graph served from a read-only mapping of the file — or from a validated
+// heap copy on builds where MmapSupported is false. The two paths are
+// bit-identical: same validation, same accessor results.
+func OpenMapped(path string) (*Mapped, error) {
+	g, data, err := openMappedFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapped{g: g, data: data, heap: data == nil}
+	m.drain.L = &m.mu
+	return m, nil
+}
+
+// NewHeapMapped wraps an ordinary heap graph in the Mapped lifetime API,
+// for callers that must treat legacy (non-mappable) graph files uniformly
+// with mapped ones. Close still drains readers but has nothing to unmap.
+func NewHeapMapped(g *Graph) *Mapped {
+	m := &Mapped{g: g, heap: true}
+	m.drain.L = &m.mu
+	return m
+}
+
+// Heap reports whether this instance is backed by a private heap copy
+// rather than a live file mapping (always true when !MmapSupported).
+func (m *Mapped) Heap() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.heap
+}
+
+// Graph returns the mapped graph, or nil once Close has begun. The graph —
+// and every slice it hands out — is valid only until Close; readers that
+// may overlap a Close must hold an Acquire/Release pair instead.
+func (m *Mapped) Graph() *Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	return m.g
+}
+
+// Acquire pins the mapping and returns its graph. Every successful Acquire
+// must be paired with exactly one Release; Close waits for the pairs to
+// balance. After Close has begun, Acquire fails with ErrMappedClosed.
+func (m *Mapped) Acquire() (*Graph, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrMappedClosed
+	}
+	m.refs++
+	return m.g, nil
+}
+
+// Release undoes one Acquire.
+func (m *Mapped) Release() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.refs > 0 {
+		m.refs--
+	}
+	if m.refs == 0 {
+		m.drain.Broadcast()
+	}
+}
+
+// Close marks the mapping closed (failing all future Acquires), waits for
+// outstanding Acquires to be released, then unmaps. It is idempotent, and
+// concurrent Closes all wait for the drain; only the first performs the
+// unmap.
+func (m *Mapped) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	for m.refs > 0 {
+		m.drain.Wait()
+	}
+	data := m.data
+	m.data, m.g = nil, nil
+	m.mu.Unlock()
+	if data == nil {
+		return nil
+	}
+	return unmapFile(data)
+}

@@ -1,0 +1,36 @@
+//go:build !((linux || darwin) && (amd64 || arm64)) || reconcile_nommap
+
+package graph
+
+import (
+	"fmt"
+	"os"
+)
+
+// MmapSupported reports whether this build serves mapped graphs from a real
+// file mapping (false here: either the platform lacks syscall.Mmap / is not
+// known little-endian, or the reconcile_nommap tag forced the portable
+// path).
+const MmapSupported = false
+
+// openMappedFile is the portable fallback: read the whole file and decode
+// it into heap arrays with explicit little-endian loads. Same container,
+// same validation, same accessor results as the mmap path — but nothing
+// aliases the file, so Close has nothing to unmap (the returned mapping is
+// nil).
+func openMappedFile(path string) (*Graph, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := decodeMappableImage(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil, nil
+}
+
+// unmapFile matches the mmap path's signature; the fallback never maps.
+func unmapFile([]byte) error {
+	return nil
+}

@@ -1,0 +1,342 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// encodeMappableBytes encodes g and fails the test on error.
+func encodeMappableBytes(t testing.TB, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeMappable(&buf, g); err != nil {
+		t.Fatalf("EncodeMappable: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// writeMappableFile writes data to a fresh file under dir and returns its
+// path.
+func writeMappableFile(t testing.TB, dir, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	return path
+}
+
+// binaryBytes is the canonical legacy encoding of g, the equality yardstick
+// for "bit-identical to the decoded graph".
+func binaryBytes(t testing.TB, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, g); err != nil {
+		t.Fatalf("EncodeBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMappableRoundTrip: encode → open (mapped and heap decode) must
+// reproduce the source graph bit-identically, for empty through
+// moderately-sized random graphs, and re-encoding must reproduce the exact
+// input bytes (the container is canonical).
+func TestMappableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	graphs := map[string]*Graph{
+		"zero":   {},
+		"empty":  FromEdges(5, nil),
+		"single": FromEdges(2, []Edge{{0, 1}}),
+		"random": randomGraph(3, 500, 2500),
+		"dense":  randomGraph(4, 40, 700),
+	}
+	names := []string{"zero", "empty", "single", "random", "dense"}
+	for _, name := range names {
+		g := graphs[name]
+		want := binaryBytes(t, g)
+		data := encodeMappableBytes(t, g)
+
+		dec, err := DecodeMappable(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: DecodeMappable: %v", name, err)
+		}
+		if got := binaryBytes(t, dec); !bytes.Equal(got, want) {
+			t.Fatalf("%s: heap decode not bit-identical to source", name)
+		}
+		if got := encodeMappableBytes(t, dec); !bytes.Equal(got, data) {
+			t.Fatalf("%s: re-encode not canonical", name)
+		}
+
+		path := writeMappableFile(t, dir, name+".rgmm", data)
+		m, err := OpenMapped(path)
+		if err != nil {
+			t.Fatalf("%s: OpenMapped: %v", name, err)
+		}
+		if m.Heap() != !MmapSupported {
+			t.Fatalf("%s: Heap() = %v with MmapSupported = %v", name, m.Heap(), MmapSupported)
+		}
+		mg := m.Graph()
+		if got := binaryBytes(t, mg); !bytes.Equal(got, want) {
+			t.Fatalf("%s: mapped graph not bit-identical to source", name)
+		}
+		if err := mg.Validate(); err != nil {
+			t.Fatalf("%s: mapped graph invalid: %v", name, err)
+		}
+		if mg.MaxDegree() != g.MaxDegree() || mg.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: mapped stats diverge", name)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+// reCRC rewrites the checksum word so a corruption test exercises the
+// validation step it targets instead of tripping the CRC first.
+func reCRC(data []byte) []byte {
+	binary.LittleEndian.PutUint32(data[12:16], crc32.ChecksumIEEE(data[16:]))
+	return data
+}
+
+// TestMappableRejectsCorrupt: every class of corrupt or structurally lying
+// image is rejected with an error — never a panic — by both the mmap open
+// and the heap decode.
+func TestMappableRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	valid := encodeMappableBytes(t, randomGraph(9, 50, 200))
+
+	// Structural liars: syntactically well-formed containers whose arrays
+	// violate a CSR invariant. EncodeMappable encodes whatever the struct
+	// holds, so invalid in-memory graphs craft them directly.
+	structural := map[string]*Graph{
+		"self-loop":    {offsets: []int64{0, 1, 2, 2}, adj: []NodeID{0, 0}, maxDegree: 1},
+		"out-of-range": {offsets: []int64{0, 1, 2, 2}, adj: []NodeID{1, 9}, maxDegree: 1},
+		"unsorted":     {offsets: []int64{0, 2, 3, 4, 4}, adj: []NodeID{3, 1, 2, 0}, maxDegree: 2},
+		"odd-total":    {offsets: []int64{0, 1, 1, 1}, adj: []NodeID{1}, maxDegree: 1},
+		"nonmonotone":  {offsets: []int64{0, 2, 1, 2}, adj: []NodeID{1, 2}, maxDegree: 2},
+		"degree-lie":   {offsets: []int64{0, 1, 2}, adj: []NodeID{1, 0}, maxDegree: 2},
+	}
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       valid[:mappedHdrSize+4],
+		"bad-magic":   reCRC(append([]byte("RGXX"), valid[4:]...)),
+		"bad-version": func() []byte { d := bytes.Clone(valid); binary.LittleEndian.PutUint32(d[4:8], 2); return reCRC(d) }(),
+		"reserved":    func() []byte { d := bytes.Clone(valid); d[9] = 1; return reCRC(d) }(),
+		"bad-crc":     func() []byte { d := bytes.Clone(valid); d[len(d)-1] ^= 0x40; return d }(),
+		"truncated":   reCRC(bytes.Clone(valid[:len(valid)-4])),
+		"padded":      reCRC(append(bytes.Clone(valid), 0, 0, 0, 0)),
+		"node-count-lie": func() []byte {
+			d := bytes.Clone(valid)
+			binary.LittleEndian.PutUint64(d[16:24], 1<<40)
+			return reCRC(d)
+		}(),
+		"adj-len-lie": func() []byte {
+			d := bytes.Clone(valid)
+			binary.LittleEndian.PutUint64(d[24:32], 1<<39)
+			return reCRC(d)
+		}(),
+	}
+	for name, g := range structural {
+		cases["struct-"+name] = encodeMappableBytes(t, g)
+	}
+
+	for name, data := range cases {
+		if _, err := DecodeMappable(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: DecodeMappable accepted corrupt image", name)
+		}
+		path := writeMappableFile(t, dir, strings.ReplaceAll(name, "/", "_")+".bad", data)
+		m, err := OpenMapped(path)
+		if err == nil {
+			m.Close()
+			t.Errorf("%s: OpenMapped accepted corrupt image", name)
+		}
+	}
+}
+
+// TestMappedLifetime pins the Close protocol: Acquire blocks Close until
+// Release, Acquire after Close begins is a clean error, Graph goes nil, and
+// Close is idempotent.
+func TestMappedLifetime(t *testing.T) {
+	dir := t.TempDir()
+	path := writeMappableFile(t, dir, "g.rgmm", encodeMappableBytes(t, randomGraph(5, 100, 400)))
+	m, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+
+	g, err := m.Acquire()
+	if err != nil || g == nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- m.Close() }()
+
+	// Close marks the instance closed before it drains, so new Acquires
+	// start failing promptly; poll rather than assume scheduling order.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := m.Acquire(); err != nil {
+			if !errors.Is(err, ErrMappedClosed) {
+				t.Fatalf("Acquire during close: %v, want ErrMappedClosed", err)
+			}
+			break
+		}
+		m.Release()
+		if time.Now().After(deadline) {
+			t.Fatal("Acquire kept succeeding after Close began")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.Graph() != nil {
+		t.Fatal("Graph() non-nil after Close began")
+	}
+
+	// The mapping must survive while the ref is held: Close cannot have
+	// returned, and the acquired graph still reads coherently.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a reference was still held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("acquired graph unreadable during close: n=%d", g.NumNodes())
+	}
+
+	m.Release()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the last Release")
+	}
+
+	if _, err := m.Acquire(); !errors.Is(err, ErrMappedClosed) {
+		t.Fatalf("Acquire after Close: %v, want ErrMappedClosed", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestNewHeapMapped: the uniform-lifetime wrapper for legacy heap graphs
+// honors the same protocol with nothing to unmap.
+func TestNewHeapMapped(t *testing.T) {
+	g := randomGraph(6, 30, 60)
+	m := NewHeapMapped(g)
+	if !m.Heap() {
+		t.Fatal("NewHeapMapped not heap-backed")
+	}
+	if got, err := m.Acquire(); err != nil || got != g {
+		t.Fatalf("Acquire: %v", err)
+	}
+	m.Release()
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if m.Graph() != nil {
+		t.Fatal("Graph() non-nil after Close")
+	}
+}
+
+// FuzzOpenGraphMapped: for arbitrary bytes, the mmap open and the heap
+// decode must agree on validity, never panic, and on acceptance produce
+// bit-identical graphs whose canonical re-encoding reproduces the input
+// exactly.
+func FuzzOpenGraphMapped(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeMappableBytes(f, &Graph{}))
+	f.Add(encodeMappableBytes(f, FromEdges(2, []Edge{{0, 1}})))
+	f.Add(encodeMappableBytes(f, randomGraph(11, 40, 120)))
+	corrupt := encodeMappableBytes(f, randomGraph(12, 20, 50))
+	corrupt[20] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, decErr := DecodeMappable(bytes.NewReader(data))
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.rgmm")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		m, openErr := OpenMapped(path)
+		if (decErr == nil) != (openErr == nil) {
+			t.Fatalf("decode err %v, open err %v: paths disagree on validity", decErr, openErr)
+		}
+		if openErr != nil {
+			return
+		}
+		defer m.Close()
+		if !bytes.Equal(binaryBytes(t, m.Graph()), binaryBytes(t, dec)) {
+			t.Fatal("mapped and heap-decoded graphs differ")
+		}
+		if !bytes.Equal(encodeMappableBytes(t, m.Graph()), data) {
+			t.Fatal("accepted image is not canonical")
+		}
+	})
+}
+
+// benchOpenFiles writes one graph in both on-disk forms and returns the two
+// paths (mappable container, legacy varint stream).
+func benchOpenFiles(b *testing.B) (mapped, legacy string) {
+	b.Helper()
+	g := randomGraph(7, 50000, 400000)
+	dir := b.TempDir()
+	mapped = writeMappableFile(b, dir, "g.rgmm", encodeMappableBytes(b, g))
+	legacy = writeMappableFile(b, dir, "g.bin", binaryBytes(b, g))
+	return mapped, legacy
+}
+
+// BenchmarkGraphOpenMapped measures the mmap open path: map, checksum,
+// validate — no array materialization. Paired with BenchmarkGraphOpenHeap
+// under a benchcheck dominance rule: opening mapped must not lose to the
+// heap decode it replaces.
+func BenchmarkGraphOpenMapped(b *testing.B) {
+	mapped, _ := benchOpenFiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := OpenMapped(mapped)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Graph().NumNodes() != 50000 {
+			b.Fatal("bad open")
+		}
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphOpenHeap measures the legacy path the mapped open is gated
+// against: stream the varint container from disk into heap arrays.
+func BenchmarkGraphOpenHeap(b *testing.B) {
+	_, legacy := benchOpenFiles(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(legacy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := DecodeBinary(bufio.NewReaderSize(f, 1<<16))
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumNodes() != 50000 {
+			b.Fatal("bad decode")
+		}
+	}
+}

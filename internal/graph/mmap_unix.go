@@ -1,0 +1,66 @@
+//go:build (linux || darwin) && (amd64 || arm64) && !reconcile_nommap
+
+package graph
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// MmapSupported reports whether this build serves mapped graphs from a real
+// file mapping (true here) or from the portable heap fallback
+// (mmap_fallback.go). The build tag pins this path to little-endian
+// platforms, so the fixed-width container fields can be viewed in place
+// without a byte-order pass.
+const MmapSupported = true
+
+// openMappedFile maps path read-only, validates the full image (header,
+// CRC, structural invariants), and returns a Graph whose arrays view the
+// mapping in place plus the mapping itself for Close to unmap. The offsets
+// view starts at byte 40 of a page-aligned mapping and the adjacency view
+// directly after 8*(n+1) more bytes, so both are naturally aligned.
+func openMappedFile(path string) (*Graph, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size < mappedHdrSize+8 {
+		return nil, nil, fmt.Errorf("graph: mapped: %s: %d-byte file shorter than header", path, size)
+	}
+	if size > math.MaxInt {
+		return nil, nil, fmt.Errorf("graph: mapped: %s: %d-byte file too large to map", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: mapped: mmap %s: %w", path, err)
+	}
+	n, adjLen, maxd, err := parseMappableHeader(data)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	offsets := unsafe.Slice((*int64)(unsafe.Pointer(&data[mappedHdrSize])), n+1)
+	var adj []NodeID
+	if adjLen > 0 {
+		adj = unsafe.Slice((*NodeID)(unsafe.Pointer(&data[mappedHdrSize+8*(n+1)])), adjLen)
+	}
+	if err := validateMappable(n, offsets, adj, maxd); err != nil {
+		_ = syscall.Munmap(data)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Graph{offsets: offsets, adj: adj, maxDegree: maxd}, data, nil
+}
+
+// unmapFile releases a mapping produced by openMappedFile.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,105 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/sociograph/reconcile/internal/core"
+	"github.com/sociograph/reconcile/internal/graph"
+)
+
+func testManifest() *core.RangeManifest {
+	return &core.RangeManifest{
+		Ranges:         4,
+		NLevels:        3,
+		N1:             1000,
+		N2:             900,
+		TotalPairs:     123,
+		Seeds:          17,
+		Sweeps:         5,
+		NextBucket:     2,
+		PhasesDropped:  20,
+		DroppedMatched: 11,
+		HybridFrontier: true,
+		Phases: []core.PhaseStat{
+			{Iteration: 5, MinDegree: 8, Matched: 3, TotalL: 90},
+			{Iteration: 5, MinDegree: 4, Matched: 1, TotalL: 91},
+		},
+		Frontier: &core.ManifestFrontier{
+			Rescored:   98765,
+			DirtyLeft:  []graph.NodeID{9, 1, 4, 4},
+			DirtyRight: []graph.NodeID{2},
+		},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	for name, man := range map[string]*core.RangeManifest{
+		"full":        testManifest(),
+		"no-frontier": {Ranges: 2, N1: 10, N2: 10, TotalPairs: 0},
+		"zero":        {},
+	} {
+		var buf bytes.Buffer
+		if err := WriteManifest(&buf, man); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		got, err := ReadManifest(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		var again bytes.Buffer
+		if err := WriteManifest(&again, got); err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("%s: encoding not canonical", name)
+		}
+		if got.Ranges != man.Ranges || got.Sweeps != man.Sweeps || got.TotalPairs != man.TotalPairs ||
+			got.HybridFrontier != man.HybridFrontier || len(got.Phases) != len(man.Phases) {
+			t.Fatalf("%s: round-trip lost fields: %+v", name, got)
+		}
+		if (got.Frontier == nil) != (man.Frontier == nil) {
+			t.Fatalf("%s: frontier presence lost", name)
+		}
+		if man.Frontier != nil {
+			if got.Frontier.Rescored != man.Frontier.Rescored ||
+				len(got.Frontier.DirtyLeft) != len(man.Frontier.DirtyLeft) ||
+				len(got.Frontier.DirtyRight) != len(man.Frontier.DirtyRight) {
+				t.Fatalf("%s: frontier fields lost: %+v", name, got.Frontier)
+			}
+		}
+	}
+}
+
+func TestManifestRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// A manifest record is not a state record and vice versa.
+	if _, err := ReadState(bytes.NewReader(valid)); err == nil {
+		t.Error("ReadState accepted a manifest record")
+	}
+	var st bytes.Buffer
+	if err := WriteState(&st, &core.SessionState{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bytes.NewReader(st.Bytes())); err == nil {
+		t.Error("ReadManifest accepted a state record")
+	}
+
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := ReadManifest(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+	for i := 0; i < len(valid); i += 11 {
+		corrupt := bytes.Clone(valid)
+		corrupt[i] ^= 0x20
+		if _, err := ReadManifest(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("accepted corruption at byte %d", i)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package reconcile
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 
 	"github.com/sociograph/reconcile/internal/core"
+	"github.com/sociograph/reconcile/internal/graph"
 	"github.com/sociograph/reconcile/internal/snapshot"
 )
 
@@ -275,6 +277,16 @@ func RestoreSessionState(g1, g2 *Graph, s *SessionState, opts ...Option) (*Recon
 // times (snapshot stores, dataset caches). ReadGraphBinary reads it back.
 func WriteGraphBinary(w io.Writer, g *Graph) error { return snapshot.WriteGraph(w, g) }
 
-// ReadGraphBinary reads a graph written by WriteGraphBinary, re-validating
-// its structural invariants; corrupt or truncated input returns an error.
-func ReadGraphBinary(r io.Reader) (*Graph, error) { return snapshot.ReadGraph(r) }
+// ReadGraphBinary reads a graph written by WriteGraphBinary — or by
+// WriteGraphMapped, sniffed by magic and decoded onto the heap — and
+// re-validates its structural invariants; corrupt or truncated input
+// returns an error. Reading both formats (as OpenGraphMapped does from the
+// other side) means a store can flip its on-disk graph format either way
+// without migrating existing files.
+func ReadGraphBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	if peek, err := br.Peek(len(graph.MappableMagic)); err == nil && string(peek) == graph.MappableMagic {
+		return graph.DecodeMappable(br)
+	}
+	return snapshot.ReadGraph(br)
+}
