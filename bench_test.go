@@ -307,11 +307,21 @@ func BenchmarkReconcileFrontierIncrementalCheckpoint(b *testing.B) {
 	benchIncrementalCheckpoint(b, reconcile.EngineFrontier, true)
 }
 
+// BenchmarkReconcileFrontierIncrementalTraced is the incremental workload
+// with a span recorder actually installed. BENCH_trace.json's
+// machinery_overhead row measures what tracing costs everyone (the nil
+// checks left in the hot path when no recorder is set); this row shows the
+// opt-in price of recording spans.
+func BenchmarkReconcileFrontierIncrementalTraced(b *testing.B) {
+	tr := reconcile.NewTraceRecorder(reconcile.TraceConfig{})
+	benchIncrementalCheckpoint(b, reconcile.EngineFrontier, false, reconcile.WithTracer(tr))
+}
+
 func benchIncremental(b *testing.B, engine reconcile.Engine) {
 	benchIncrementalCheckpoint(b, engine, false)
 }
 
-func benchIncrementalCheckpoint(b *testing.B, engine reconcile.Engine, checkpoint bool) {
+func benchIncrementalCheckpoint(b *testing.B, engine reconcile.Engine, checkpoint bool, extra ...reconcile.Option) {
 	inst := makeInstance(10000, 10)
 	hold := 20
 	if len(inst.seeds) <= hold {
@@ -321,7 +331,7 @@ func benchIncrementalCheckpoint(b *testing.B, engine reconcile.Engine, checkpoin
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		opts := []reconcile.Option{reconcile.WithEngine(engine), reconcile.WithSeeds(early)}
+		opts := append([]reconcile.Option{reconcile.WithEngine(engine), reconcile.WithSeeds(early)}, extra...)
 		var rec *reconcile.Reconciler
 		if checkpoint {
 			// Checkpoint at every sweep boundary, like cmd/serve's store; the

@@ -2,7 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -39,7 +44,55 @@ func runLoad(tb testing.TB, runSlots int, cfg loadgen.Config) *loadgen.Report {
 	for _, v := range rep.Invariants {
 		tb.Errorf("invariant violation: %s", v)
 	}
+	if dir := os.Getenv("LOADGEN_ARTIFACT_DIR"); dir != "" {
+		writeLoadArtifacts(tb, dir, ts.URL, rep)
+	}
 	return rep
+}
+
+// writeLoadArtifacts saves the run report and one surviving job's
+// chrome-format execution trace for CI to upload — set LOADGEN_ARTIFACT_DIR
+// to collect them. Must run before the httptest server closes.
+func writeLoadArtifacts(tb testing.TB, dir, baseURL string, rep *loadgen.Report) {
+	tb.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		tb.Fatalf("artifact dir: %v", err)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "loadgen-report.json"), append(buf, '\n'), 0o644); err != nil {
+		tb.Fatalf("writing report artifact: %v", err)
+	}
+	// The deletes shape destroys its jobs; any other shape's job is still
+	// listed, so the first tenant's first surviving job stands in for all.
+	resp, err := http.Get(baseURL + "/v1/tenants/load-00/jobs")
+	if err != nil {
+		tb.Fatalf("listing jobs for trace artifact: %v", err)
+	}
+	var listed struct {
+		Jobs []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listed)
+	resp.Body.Close()
+	if err != nil || len(listed.Jobs) == 0 {
+		tb.Fatalf("no jobs to trace (err %v)", err)
+	}
+	resp, err = http.Get(baseURL + "/v1/tenants/load-00/jobs/" + listed.Jobs[0].ID + "/trace?format=chrome")
+	if err != nil {
+		tb.Fatalf("fetching trace artifact: %v", err)
+	}
+	trace, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		tb.Fatalf("fetching trace artifact: status %d err %v", resp.StatusCode, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "loadgen-trace-chrome.json"), trace, 0o644); err != nil {
+		tb.Fatalf("writing trace artifact: %v", err)
+	}
 }
 
 // TestLoadgenSmoke runs a small mixed scenario end to end — every job
@@ -65,6 +118,14 @@ func TestLoadgenSmoke(t *testing.T) {
 	if rep.Latency["submit"].Count != 8 || rep.Latency["job"].Count != 8 {
 		t.Fatalf("latency counts submit=%d job=%d, want 8/8",
 			rep.Latency["submit"].Count, rep.Latency["job"].Count)
+	}
+	// Every finished job contributed its execution trace to the per-phase
+	// breakdown: 8 jobs of at least one sweep each.
+	if ph := rep.TracePhases["sweep"]; ph.Count < 8 {
+		t.Fatalf("tracePhases[sweep].count = %d, want >= 8 (phases: %v)", ph.Count, rep.TracePhases)
+	}
+	if ph := rep.TracePhases["slot-wait"]; ph.Count < 8 {
+		t.Fatalf("tracePhases[slot-wait].count = %d, want >= 8", ph.Count)
 	}
 }
 

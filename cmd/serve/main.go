@@ -112,7 +112,8 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -123,6 +124,32 @@ import (
 	"github.com/sociograph/reconcile"
 	"github.com/sociograph/reconcile/internal/tenant"
 )
+
+// setupLogging installs the process-wide slog handler: text (the default,
+// for terminals) or json (for log pipelines), at info level, or debug with
+// -log-debug (which adds a line per HTTP request).
+func setupLogging(format string, debug bool) error {
+	level := slog.LevelInfo
+	if debug {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, opts)))
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, opts)))
+	default:
+		return fmt.Errorf("serve: -log-format must be text or json (got %q)", format)
+	}
+	return nil
+}
+
+// fatal logs err and exits — log.Fatalf's shape under slog.
+func fatal(msg string, err error) {
+	slog.Error(msg, "err", err)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -137,12 +164,19 @@ func main() {
 	runSlots := flag.Int("run-slots", runtime.GOMAXPROCS(0), "concurrent run goroutines across all tenants, shared by weighted fair scheduling (0: unlimited)")
 	maxBodyBytes := flag.Int64("max-body-bytes", defaultMaxBodyBytes, "largest accepted request body; oversized bodies answer 413")
 	shutdownGrace := flag.Duration("shutdown-grace", 15*time.Second, "drain budget after SIGINT/SIGTERM: running jobs stop at a bucket boundary and write a final checkpoint within this window")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logDebug := flag.Bool("log-debug", false, "log at debug level (adds a line per HTTP request, with request ids)")
 	flag.Parse()
+
+	if err := setupLogging(*logFormat, *logDebug); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	reg := tenant.NewRegistry()
 	if *tenantsFile != "" {
 		if err := reg.LoadFile(*tenantsFile); err != nil {
-			log.Fatalf("serve: %v", err)
+			fatal("loading tenant registry", err)
 		}
 	}
 
@@ -156,7 +190,7 @@ func main() {
 			mmap:       *mmapGraphs,
 			rangeNodes: *rangeNodes,
 		}); err != nil {
-			log.Fatalf("serve: %v", err)
+			fatal("opening job store", err)
 		}
 	}
 	s, skipped := newServerWith(st, serverConfig{
@@ -166,7 +200,7 @@ func main() {
 		maxBodyBytes: *maxBodyBytes,
 	})
 	for _, err := range skipped {
-		log.Printf("serve: skipping persisted job: %v", err)
+		slog.Warn("skipping persisted job", "err", err)
 	}
 	if st != nil {
 		restored := 0
@@ -175,7 +209,7 @@ func main() {
 			restored += len(tj.jobs)
 		}
 		s.mu.Unlock()
-		log.Printf("serve: job store at %s (%d tenants, %d jobs restored)", *dataDir, len(reg.All()), restored)
+		slog.Info("job store open", "dir", *dataDir, "tenants", len(reg.All()), "jobsRestored", restored)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -187,15 +221,15 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serve: listening on %s", *addr)
+	slog.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("http server", err)
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately instead of draining
-	log.Printf("serve: signal received; draining (budget %s)", *shutdownGrace)
+	slog.Info("signal received; draining", "budget", shutdownGrace.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 	defer cancel()
 	// Cancel jobs first: handlers parked on a running job (DELETE waiting
@@ -203,12 +237,26 @@ func main() {
 	// drain of the shared grace budget.
 	jobs := s.cancelRunning()
 	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("serve: http shutdown: %v", err)
+		slog.Warn("http shutdown", "err", err)
 	}
 	if err := s.awaitDrain(dctx, jobs); err != nil {
-		log.Printf("serve: %v", err)
+		slog.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
 	s.closeMappings() // drained: no run can touch a mapped graph anymore
-	log.Printf("serve: drained; final checkpoints written")
+	// Report each job's final-checkpoint outcome, not just a blanket
+	// success line: a drain where a final checkpoint failed restarts that
+	// job from its previous checkpoint, and the operator should know which.
+	failed := 0
+	for _, o := range drainOutcomes(jobs) {
+		if o.err != "" {
+			failed++
+			slog.Error("final checkpoint failed", "tenant", o.tenant, "job", o.job, "status", string(o.status), "err", o.err)
+		}
+	}
+	if failed > 0 {
+		slog.Warn("drained with checkpoint failures", "jobs", len(jobs), "failed", failed)
+	} else {
+		slog.Info("drained; final checkpoints written", "jobs", len(jobs))
+	}
 }

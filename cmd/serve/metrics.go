@@ -2,11 +2,15 @@ package main
 
 import (
 	"errors"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
 	"time"
 
+	runtimemetrics "runtime/metrics"
+
+	"github.com/sociograph/reconcile"
 	"github.com/sociograph/reconcile/internal/metrics"
 	"github.com/sociograph/reconcile/internal/tenant"
 )
@@ -40,6 +44,13 @@ type serveMetrics struct {
 	jobsByStatus *metrics.GaugeVec // status
 	jobsCreated  *metrics.Counter
 	jobsDeleted  *metrics.Counter
+	traceSpans   *metrics.HistogramVec // kind
+
+	// Go runtime health, refreshed at scrape time from runtime/metrics.
+	goroutines *metrics.Gauge
+	heapBytes  *metrics.Gauge
+	gcPause    *metrics.GaugeVec // quantile
+	mappings   *metrics.Gauge
 }
 
 // newServeMetrics builds the registry, registers every family, and wires
@@ -76,6 +87,16 @@ func newServeMetrics(s *server) *serveMetrics {
 			"Jobs accepted by POST .../jobs."),
 		jobsDeleted: r.Counter("reconcile_jobs_deleted_total",
 			"Jobs removed by DELETE .../jobs/{id}."),
+		traceSpans: r.HistogramVec("reconcile_trace_span_seconds",
+			"Trace span durations in seconds, by span kind (sweep, bucket, checkpoint-write, ...).", nil, "kind"),
+		goroutines: r.Gauge("reconcile_go_goroutines",
+			"Goroutines at scrape time."),
+		heapBytes: r.Gauge("reconcile_go_heap_bytes",
+			"Bytes of live heap objects at scrape time."),
+		gcPause: r.GaugeVec("reconcile_go_gc_pause_seconds",
+			"GC stop-the-world pause quantiles over the process lifetime.", "quantile"),
+		mappings: r.Gauge("reconcile_graph_open_mappings",
+			"Graph file mappings currently open (-mmap jobs; heap fallbacks not counted)."),
 	}
 	s.sched.SetWaitObserver(func(tn string, seconds float64) {
 		m.slotWait.With(tn).Observe(seconds)
@@ -128,6 +149,64 @@ func (m *serveMetrics) collect(s *server) {
 	for _, st := range []jobStatus{statusRunning, statusDone, statusCancelled, statusFailed, statusInterrupted} {
 		m.jobsByStatus.With(string(st)).Set(float64(counts[st]))
 	}
+	m.collectRuntime()
+}
+
+// collectRuntime refreshes the Go runtime gauges from runtime/metrics — a
+// fixed, documented sample set, read in one call at scrape time.
+func (m *serveMetrics) collectRuntime() {
+	samples := []runtimemetrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/gc/pauses:seconds"},
+	}
+	runtimemetrics.Read(samples)
+	if samples[0].Value.Kind() == runtimemetrics.KindUint64 {
+		m.goroutines.Set(float64(samples[0].Value.Uint64()))
+	}
+	if samples[1].Value.Kind() == runtimemetrics.KindUint64 {
+		m.heapBytes.Set(float64(samples[1].Value.Uint64()))
+	}
+	if samples[2].Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		h := samples[2].Value.Float64Histogram()
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}} {
+			m.gcPause.With(q.label).Set(runtimeHistQuantile(h, q.q))
+		}
+	}
+	m.mappings.Set(float64(reconcile.OpenMappings()))
+}
+
+// runtimeHistQuantile estimates quantile q from a runtime/metrics histogram
+// the way histogram_quantile does: the upper bound of the bucket the rank
+// falls in (the bucket's lower bound when the upper is +Inf, so the estimate
+// stays finite whenever any data exists).
+func runtimeHistQuantile(h *runtimemetrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				return h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return 0
 }
 
 // quotaRefused counts one 429 by its resource kind; refusals that are not

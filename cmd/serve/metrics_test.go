@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"github.com/sociograph/reconcile"
 )
 
 // scrapeMetrics fetches /metrics, checks the exposition envelope, and
@@ -202,10 +204,70 @@ func TestMetricsEndpoint(t *testing.T) {
 		`reconcile_sched_queue_depth{tenant="default"}`,
 		`reconcile_sched_slots_inflight{tenant="default"}`,
 		`reconcile_engine_regime_switches_total`,
+		`reconcile_go_gc_pause_seconds{quantile="0.5"}`,
+		`reconcile_go_gc_pause_seconds{quantile="0.9"}`,
+		`reconcile_go_gc_pause_seconds{quantile="0.99"}`,
+		`reconcile_graph_open_mappings`,
 	} {
 		if _, ok := after[name]; !ok {
 			t.Errorf("series %q not exposed", name)
 		}
+	}
+	// Go runtime gauges carry live values: a serving process always has
+	// goroutines and heap objects.
+	if got := after[`reconcile_go_goroutines`]; got < 1 {
+		t.Errorf("reconcile_go_goroutines = %v, want >= 1", got)
+	}
+	if got := after[`reconcile_go_heap_bytes`]; got <= 0 {
+		t.Errorf("reconcile_go_heap_bytes = %v, want > 0", got)
+	}
+	// The finished job emitted execution-trace spans into the histogram:
+	// sweeps certainly, checkpoint writes because the server is stored.
+	for _, name := range []string{
+		`reconcile_trace_span_seconds_count{kind="sweep"}`,
+		`reconcile_trace_span_seconds_count{kind="checkpoint-write"}`,
+	} {
+		if !(after[name] > before[name]) {
+			t.Errorf("series %q did not move: before %v, after %v", name, before[name], after[name])
+		}
+	}
+}
+
+// TestMetricsOpenMappingsGauge pins reconcile_graph_open_mappings to the
+// -mmap lifetime: a live job holds no mappings (its graphs arrived over the
+// wire), but restoring it on reboot pages both graph files in, moving the
+// gauge by two per job wherever the platform supports mapping.
+func TestMetricsOpenMappingsGauge(t *testing.T) {
+	st, err := newStore(t.TempDir(), rangedStoreConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newTestServer(t, st).handler())
+
+	inst := testInstance(t, 400, 0.2)
+	inst.UntilStable = true
+	inst.MaxSweeps = 6
+	resp := postJSON(t, ts.URL+"/v1/jobs", inst)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	id := decode[map[string]string](t, resp)["id"]
+	if v := waitForJob(t, ts.URL, id); v.Status != statusDone {
+		t.Fatalf("job settled as %q", v.Status)
+	}
+	v0 := scrapeMetrics(t, ts.URL)[`reconcile_graph_open_mappings`]
+	ts.Close()
+
+	ts2 := httptest.NewServer(newTestServer(t, st).handler())
+	defer ts2.Close()
+	v1 := scrapeMetrics(t, ts2.URL)[`reconcile_graph_open_mappings`]
+	if reconcile.MmapSupported {
+		// The gauge is process-wide, so assert the delta, not the level.
+		if v1 < v0+2 {
+			t.Fatalf("open mappings after mapped restore = %v, want >= %v", v1, v0+2)
+		}
+	} else if v1 != v0 {
+		t.Fatalf("open mappings moved (%v -> %v) without mmap support", v0, v1)
 	}
 }
 

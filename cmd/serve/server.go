@@ -6,14 +6,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sociograph/reconcile"
 	"github.com/sociograph/reconcile/internal/tenant"
+	"github.com/sociograph/reconcile/internal/trace"
 )
 
 // jobStatus is the lifecycle of a submitted reconciliation job.
@@ -103,6 +106,12 @@ type job struct {
 	// the job owns their lifetime — runs pin them (pinGraphs), and they are
 	// closed only after the run goroutine drains, on delete and at shutdown.
 	mg1, mg2 *reconcile.MappedGraph
+	// tr is the job's span recorder — sweeps, buckets, checkpoint writes,
+	// slot waits, and (after a restart) replay and graph-open spans. Set once
+	// at creation or restore, before any run goroutine starts, and never
+	// replaced, so emitters read it without j.mu; the recorder itself is
+	// concurrency-safe.
+	tr *trace.Recorder
 
 	mu             sync.Mutex
 	rec            *reconcile.Reconciler
@@ -115,6 +124,7 @@ type job struct {
 	deleted        bool           // DELETE in progress: no handler or persist may touch it again
 	wantCheckpoint bool           // one-shot: checkpoint at the next phase boundary
 	frontier       bool           // last observed hybrid regime (frontier = true)
+	persistErr     string         // last finish-time checkpoint failure; "" = written
 	pending        sync.WaitGroup // run goroutine in flight (tests wait on it)
 }
 
@@ -129,6 +139,7 @@ func (j *job) metaLocked() jobMeta {
 		UntilStable: j.untilStable,
 		MaxSweeps:   j.maxSweeps,
 		Phases:      append([]phaseJSON(nil), j.phases...),
+		Trace:       j.tr.Export(),
 	}
 }
 
@@ -301,8 +312,20 @@ func newServerWith(st *store, cfg serverConfig) (*server, []error) {
 			mg1:         p.mg1,
 			mg2:         p.mg2,
 		}
+		// Continue the persisted trace (or start one for jobs persisted before
+		// tracing existed): the restored timeline picks up after the
+		// snapshot's clock position, and the boot work the store measured —
+		// graph opens, chain replay — lands as spans before the resume mark.
+		j.tr = s.newJobRecorder(p.meta.Trace)
+		p.js.tracer = j.tr
+		for _, b := range p.js.boot {
+			j.tr.Observe(b.kind, b.detail, b.nanos)
+		}
+		p.js.boot = nil
+		j.tr.Mark(trace.KindResume, "process restart")
 		rec, err := reconcile.RestoreSessionState(p.g1, p.g2, p.state,
-			reconcile.WithProgress(s.progressHook(j)))
+			reconcile.WithProgress(s.progressHook(j)),
+			reconcile.WithTracer(j.tr))
 		if err != nil {
 			p.closeMapped()
 			skipped = append(skipped, fmt.Errorf("store: tenant %s job %s: %w", p.tenant, p.meta.ID, err))
@@ -426,9 +449,23 @@ func (s *server) progressHook(j *job) func(reconcile.PhaseEvent) {
 		// chain (every handler that would touch either refuses running
 		// jobs), and the bookkeeping snapshot was taken under the lock.
 		if err := j.js.checkpoint(rec, meta); err != nil {
-			log.Printf("serve: checkpoint of %s: %v", j.id, err)
+			slog.Error("checkpoint failed", "tenant", j.tname, "job", j.id, "err", err)
 		}
 	}
+}
+
+// newJobRecorder builds a job's span recorder — restoring the persisted
+// trace when one exists — and feeds every completed span into the
+// reconcile_trace_span_seconds histogram. The hook runs outside the
+// recorder's mutex on the emitting goroutine.
+func (s *server) newJobRecorder(p *trace.Persisted) *trace.Recorder {
+	cfg := trace.Config{OnSpan: func(sp trace.Span) {
+		s.metrics.traceSpans.With(string(sp.Kind)).Observe(float64(sp.End-sp.Start) / 1e9)
+	}}
+	if p != nil {
+		return trace.Restore(cfg, p)
+	}
+	return trace.New(cfg)
 }
 
 // tenantHandler is a job-API handler bound to an authenticated tenant.
@@ -455,6 +492,7 @@ func (s *server) handler() http.Handler {
 		{"POST", "/jobs/{id}/cancel", s.cancelJob},
 		{"POST", "/jobs/{id}/checkpoint", s.checkpointJob},
 		{"POST", "/jobs/{id}/resume", s.resumeJob},
+		{"GET", "/jobs/{id}/trace", s.getTrace},
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" /v1"+rt.suffix, s.tenantRoute(rt.h))
@@ -466,7 +504,68 @@ func (s *server) handler() http.Handler {
 	// patterns, tenant names, shard names and statuses — never tokens or
 	// request data (the secret-hygiene analyzer pins this package).
 	mux.Handle("GET /metrics", s.metrics.registry.Handler())
-	return s.metrics.instrument(mux)
+	// The profiling surface rides behind the same credential as /v1/admin:
+	// pprof exposes heap contents and execution timings, which in a shared
+	// deployment are as sensitive as the tenant table. (Importing net/http/
+	// pprof also registers on http.DefaultServeMux; that mux is never
+	// served here, so only these guarded mounts are reachable.)
+	mux.HandleFunc("GET /debug/pprof/", s.adminRoute(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", s.adminRoute(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", s.adminRoute(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", s.adminRoute(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", s.adminRoute(pprof.Trace))
+	return s.metrics.instrument(logRequests(mux))
+}
+
+// reqID numbers requests process-wide, for correlating a request's log
+// lines without trusting (or echoing) anything client-supplied.
+var reqID atomic.Int64
+
+// logRequests tags every request with a process-unique id and logs it at
+// debug level once served, with the matched route pattern (never the raw
+// URL — tenant names are fine, but patterns keep cardinality and
+// accidental-secret risk at zero) and the tenant/job path values.
+func logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := reqID.Add(1)
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sr, r)
+		// The mux records the matched pattern on the request during routing,
+		// so it is readable here, after serving — same trick instrument uses.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		slog.Debug("http request",
+			"requestId", id, "method", r.Method, "route", route, "status", sr.code,
+			"tenant", r.PathValue("tenant"), "job", r.PathValue("id"))
+	})
+}
+
+// traceView is the GET .../jobs/{id}/trace body: the retained span timeline
+// plus cumulative per-kind totals (which include spans the retention window
+// has dropped).
+type traceView struct {
+	ID     string                      `json:"id"`
+	Sweep  int                         `json:"sweep"`
+	Spans  []trace.Span                `json:"spans"`
+	Totals map[trace.Kind]trace.Totals `json:"totals"`
+}
+
+// getTrace handles GET .../jobs/{id}/trace: the job's execution trace as a
+// JSON timeline, or — with ?format=chrome — as Chrome trace_event JSON
+// loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func (s *server) getTrace(w http.ResponseWriter, r *http.Request, tj *tenantJobs, t *tenant.Tenant) {
+	j := s.lookup(w, r, tj)
+	if j == nil {
+		return
+	}
+	p := j.tr.Export()
+	if r.URL.Query().Get("format") == "chrome" {
+		writeJSON(w, http.StatusOK, p.Chrome(j.id))
+		return
+	}
+	writeJSON(w, http.StatusOK, traceView{ID: j.id, Sweep: p.Sweep, Spans: p.Spans, Totals: p.TotalsByKind()})
 }
 
 // bearerToken extracts the Authorization bearer token, if any.
@@ -660,7 +759,9 @@ func (s *server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, 
 	go func() {
 		defer j.pending.Done()
 		defer cancel()
-		release, err := s.sched.Acquire(ctx, j.tname)
+		release, err := s.sched.AcquireTraced(ctx, j.tname, func(waitNanos int64) {
+			j.tr.Observe(trace.KindSlotWait, "run slot", waitNanos)
+		})
 		if err != nil {
 			j.finish(err) // cancelled (or shut down) while queued
 			return
@@ -774,8 +875,10 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 		maxSweeps:   maxSweeps,
 		status:      statusRunning,
 	}
+	j.tr = s.newJobRecorder(nil)
 	if s.store != nil {
 		j.js = s.store.tenant(tj.name).jobStore(j.id)
+		j.js.tracer = j.tr
 	}
 	// Publish under the job lock and hold it for the entire creation: job
 	// IDs are predictable, so a racing DELETE can reach the job the moment
@@ -797,7 +900,8 @@ func (s *server) createJob(w http.ResponseWriter, r *http.Request, tj *tenantJob
 
 	opts = append(opts,
 		reconcile.WithSeeds(toPairs(req.Seeds)),
-		reconcile.WithProgress(s.progressHook(j)))
+		reconcile.WithProgress(s.progressHook(j)),
+		reconcile.WithTracer(j.tr))
 
 	rec, err := reconcile.New(g1, g2, opts...)
 	if err != nil {
@@ -861,7 +965,10 @@ func (j *job) finish(err error) {
 		j.errMsg = err.Error()
 	}
 	if perr := j.persistLocked(); perr != nil {
-		log.Printf("serve: checkpoint of %s: %v", j.id, perr)
+		j.persistErr = perr.Error()
+		slog.Error("final checkpoint failed", "tenant", j.tname, "job", j.id, "status", string(j.status), "err", perr)
+	} else {
+		j.persistErr = ""
 	}
 	if j.tn != nil {
 		j.tn.ReleaseJob()
@@ -1291,6 +1398,27 @@ func (s *server) awaitDrain(ctx context.Context, jobs []*job) error {
 // HTTP listener to drain in between (tests).
 func (s *server) shutdown(ctx context.Context) error {
 	return s.awaitDrain(ctx, s.cancelRunning())
+}
+
+// drainOutcome is one drained job's terminal status and final-checkpoint
+// result, for the shutdown report.
+type drainOutcome struct {
+	tenant, job string
+	status      jobStatus
+	err         string // "" — final checkpoint written (or job has no store)
+}
+
+// drainOutcomes reports each drained job's status and final-checkpoint
+// outcome, in the stable drain order. Call after awaitDrain: finish() has
+// then recorded every job's persist result.
+func drainOutcomes(jobs []*job) []drainOutcome {
+	out := make([]drainOutcome, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		out = append(out, drainOutcome{tenant: j.tname, job: j.id, status: j.status, err: j.persistErr})
+		j.mu.Unlock()
+	}
+	return out
 }
 
 // closeMappings closes every job's mapped graph files — the -mmap lifetime's

@@ -17,6 +17,7 @@ import (
 
 	"github.com/sociograph/reconcile"
 	"github.com/sociograph/reconcile/internal/tenant"
+	"github.com/sociograph/reconcile/internal/trace"
 )
 
 // store is the crash-safe on-disk job store behind -data-dir: per-tenant
@@ -351,6 +352,11 @@ type jobMeta struct {
 	// as that many per-node-range shard files plus a manifest. Fixed when
 	// the job is submitted; recovery replays with the same geometry.
 	Ranges int `json:"ranges,omitempty"`
+	// Trace is the job's span recorder snapshot as of this meta write. A
+	// restart restores it (trace.Restore), so a resumed job's trace timeline
+	// continues instead of restarting — the /trace endpoint's continuity
+	// promise.
+	Trace *trace.Persisted `json:"trace,omitempty"`
 }
 
 // jobStore is one job's slice of the store: its shard directory, checkpoint
@@ -371,6 +377,29 @@ type jobStore struct {
 	// commit point. rckpt is its checkpointer, built lazily.
 	ranges int
 	rckpt  *reconcile.RangedCheckpointer
+
+	// tracer, when set by the serve layer, receives a checkpoint-write span
+	// per durable record (each range shard and the manifest separately on
+	// ranged chains). Set before any run goroutine starts and never replaced;
+	// the recorder itself is concurrency-safe, so the ranged path's parallel
+	// shard writers may all emit spans at once. All emission is nil-safe.
+	tracer *trace.Recorder
+	// boot accumulates spans for work done before the job's recorder exists —
+	// graph opens and chain replay at load. The serve layer observes them
+	// onto the restored recorder and clears the slice.
+	boot []bootSpan
+}
+
+// bootSpan is one load-time observation waiting for a recorder.
+type bootSpan struct {
+	kind   trace.Kind
+	detail string
+	nanos  int64
+}
+
+// bootObserve queues one load-time measurement for the job's future recorder.
+func (js *jobStore) bootObserve(kind trace.Kind, detail string, d time.Duration) {
+	js.boot = append(js.boot, bootSpan{kind: kind, detail: detail, nanos: d.Nanoseconds()})
 }
 
 func (js *jobStore) path(suffix string) string {
@@ -504,9 +533,11 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 	seq := js.seq + 1
 	wantFull := !js.haveBase || js.sinceFull+1 >= js.ts.store.cfg.fullEvery
 	if !wantFull {
+		sp := js.tracer.Begin(trace.KindCheckpointWrite, fmt.Sprintf("delta #%d", seq))
 		err := js.writeTracked(js.chainPath(seq, "delta"), func(w *os.File) error {
 			return js.ckpt.WriteDelta(w, rec)
 		})
+		sp.End()
 		switch {
 		case err == nil:
 			js.sinceFull++
@@ -518,9 +549,12 @@ func (js *jobStore) checkpoint(rec *reconcile.Reconciler, meta jobMeta) error {
 		}
 	}
 	if wantFull {
-		if err := js.writeTracked(js.chainPath(seq, "full"), func(w *os.File) error {
+		sp := js.tracer.Begin(trace.KindCheckpointWrite, fmt.Sprintf("full #%d", seq))
+		err := js.writeTracked(js.chainPath(seq, "full"), func(w *os.File) error {
 			return js.ckpt.WriteFull(w, rec)
-		}); err != nil {
+		})
+		sp.End()
+		if err != nil {
 			js.haveBase = false
 			return fmt.Errorf("store: full checkpoint of %s: %w", js.id, err)
 		}
@@ -575,9 +609,11 @@ func (js *jobStore) checkpointRanged(rec *reconcile.Reconciler, meta jobMeta) er
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
+			sp := js.tracer.Begin(trace.KindCheckpointWrite, fmt.Sprintf("%s #%d r%d/%d", kind, seq, j+1, ck.Ranges()))
 			errs[j] = js.writeTracked(js.rangePath(seq, j, kind), func(w *os.File) error {
 				return ck.EncodePart(j, w)
 			})
+			sp.End()
 		}(j)
 	}
 	wg.Wait()
@@ -587,9 +623,12 @@ func (js *jobStore) checkpointRanged(rec *reconcile.Reconciler, meta jobMeta) er
 			return fmt.Errorf("store: ranged checkpoint of %s: %w", js.id, werr)
 		}
 	}
-	if err := js.writeTracked(js.chainPath(seq, "manifest"), func(w *os.File) error {
+	sp := js.tracer.Begin(trace.KindCheckpointWrite, fmt.Sprintf("manifest #%d", seq))
+	err = js.writeTracked(js.chainPath(seq, "manifest"), func(w *os.File) error {
 		return ck.EncodeManifest(w)
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		js.haveBase = false
 		return fmt.Errorf("store: ranged checkpoint of %s: %w", js.id, err)
 	}
@@ -824,6 +863,7 @@ func (js *jobStore) recoverState() (st *reconcile.SessionState, dropped int, err
 // record, or delta that does not fit — the last consistent prefix.
 func (js *jobStore) replayMonoFrom(groups []seqGroup, i int) (*reconcile.SessionState, int, error) {
 	rec := groups[i].mono
+	start := time.Now()
 	f, err := os.Open(rec.path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("chain full #%d: %w", rec.seq, err)
@@ -833,11 +873,13 @@ func (js *jobStore) replayMonoFrom(groups []seqGroup, i int) (*reconcile.Session
 	if err != nil {
 		return nil, 0, fmt.Errorf("chain full #%d: %w", rec.seq, err)
 	}
+	js.bootObserve(trace.KindCheckpointReplay, fmt.Sprintf("full #%d", rec.seq), time.Since(start))
 	lastApplied := rec.seq
 	for _, g := range groups[i+1:] {
 		if g.mono == nil || g.mono.full || g.seq != lastApplied+1 {
 			break // a later full starts its own chain; a gap ends this one
 		}
+		start := time.Now()
 		df, err := os.Open(g.mono.path)
 		if err != nil {
 			break
@@ -851,6 +893,7 @@ func (js *jobStore) replayMonoFrom(groups []seqGroup, i int) (*reconcile.Session
 			break
 		}
 		lastApplied = g.seq
+		js.bootObserve(trace.KindCheckpointReplay, fmt.Sprintf("delta #%d", g.seq), time.Since(start))
 	}
 	return st, lastApplied, nil
 }
@@ -883,6 +926,7 @@ func (js *jobStore) replayRangedFrom(groups []seqGroup, i int) (*reconcile.Sessi
 		if !ok {
 			return nil, 0, fmt.Errorf("chain full #%d: missing range %d of %d", anchor.seq, j, man.Ranges())
 		}
+		start := time.Now()
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, 0, fmt.Errorf("chain full #%d range %d: %w", anchor.seq, j, err)
@@ -892,6 +936,7 @@ func (js *jobStore) replayRangedFrom(groups []seqGroup, i int) (*reconcile.Sessi
 		if err != nil {
 			return nil, 0, fmt.Errorf("chain full #%d range %d: %w", anchor.seq, j, err)
 		}
+		js.bootObserve(trace.KindCheckpointReplay, fmt.Sprintf("full #%d r%d/%d", anchor.seq, j+1, man.Ranges()), time.Since(start))
 	}
 	merged, err := reconcile.MergeRangeParts(man, parts)
 	if err != nil {
@@ -914,6 +959,7 @@ func (js *jobStore) replayRangedFrom(groups []seqGroup, i int) (*reconcile.Sessi
 				ok = false
 				break
 			}
+			start := time.Now()
 			df, err := os.Open(path)
 			if err != nil {
 				ok = false
@@ -930,6 +976,7 @@ func (js *jobStore) replayRangedFrom(groups []seqGroup, i int) (*reconcile.Sessi
 				ok = false
 				break
 			}
+			js.bootObserve(trace.KindCheckpointReplay, fmt.Sprintf("delta #%d r%d/%d", g.seq, j+1, len(parts)), time.Since(start))
 		}
 		if !ok {
 			break
@@ -1042,6 +1089,7 @@ func (ts *tenantStore) load(dir, id string) (persisted, error) {
 		dst    **reconcile.Graph
 		mg     **reconcile.MappedGraph
 	}{{".g1", &p.g1, &p.mg1}, {".g2", &p.g2, &p.mg2}} {
+		start := time.Now()
 		if ts.store.cfg.mmap {
 			mg, err := reconcile.OpenGraphMapped(js.path(f.suffix))
 			if err != nil {
@@ -1050,6 +1098,11 @@ func (ts *tenantStore) load(dir, id string) (persisted, error) {
 			}
 			*f.mg = mg
 			*f.dst = mg.Graph()
+			mode := "heap"
+			if mg.Mapped() {
+				mode = "mapped"
+			}
+			js.bootObserve(trace.KindGraphOpen, f.suffix[1:]+" "+mode, time.Since(start))
 			continue
 		}
 		file, err := os.Open(js.path(f.suffix))
@@ -1062,6 +1115,7 @@ func (ts *tenantStore) load(dir, id string) (persisted, error) {
 			return p, fmt.Errorf("graph %s: %w", f.suffix, err)
 		}
 		*f.dst = g
+		js.bootObserve(trace.KindGraphOpen, f.suffix[1:]+" heap", time.Since(start))
 	}
 	if p.state, p.dropped, err = js.recoverState(); err != nil {
 		p.closeMapped()

@@ -53,8 +53,13 @@ func DefaultPolicy() Policy {
 			// in the packages that compute or encode session state.
 			// internal/eval rides along because the coming validation API
 			// (ROADMAP) turns its metrics into served answers.
+			// internal/trace is covered with exactly one sanctioned
+			// exception: its default wall clock (wallNanos) carries a
+			// //lint:allow determinism directive with the reason on record —
+			// every deterministic emitter injects Config.Clock instead, and
+			// the analyzer keeps it that way.
 			Analyzer: "determinism",
-			Packages: []string{"internal/core", "internal/snapshot", "internal/graph", "internal/bitset", "internal/eval"},
+			Packages: []string{"internal/core", "internal/snapshot", "internal/graph", "internal/bitset", "internal/eval", "internal/trace"},
 		},
 		{
 			// The serve layer's restore, listing, and drain order must be
@@ -116,9 +121,11 @@ func DefaultPolicy() Policy {
 			// formatting or logging. internal/metrics and the load driver
 			// joined when GET /metrics landed: metric labels and load-run
 			// reports are exactly the kind of side channel a token leaks
-			// through.
+			// through. internal/trace joined with the /trace endpoint: span
+			// details are served verbatim to clients, so nothing secret may
+			// ever be formatted into one.
 			Analyzer: "secret-hygiene",
-			Packages: []string{"internal/tenant", "cmd/serve", "internal/metrics", "internal/loadgen", "cmd/loadgen"},
+			Packages: []string{"internal/tenant", "cmd/serve", "internal/metrics", "internal/loadgen", "cmd/loadgen", "internal/trace"},
 		},
 	}}
 }

@@ -34,6 +34,19 @@ func TestDefaultPolicyNamesKnownAnalyzers(t *testing.T) {
 	}
 }
 
+// TestPolicyCoversTracePackage pins the observability rows: the span
+// recorder stays under the determinism ban (its one wall-clock read lives
+// behind a reasoned //lint:allow) and under secret-hygiene (span details are
+// served verbatim by the /trace endpoint).
+func TestPolicyCoversTracePackage(t *testing.T) {
+	got := DefaultPolicy().analyzersFor("internal/trace")
+	for _, a := range []string{"determinism", "secret-hygiene"} {
+		if _, ok := got[a]; !ok {
+			t.Errorf("internal/trace not covered by the %q rule", a)
+		}
+	}
+}
+
 func TestFindingString(t *testing.T) {
 	f := Finding{File: "internal/core/engine.go", Line: 37, Analyzer: "ctx-propagation", Message: "context.Background in library code"}
 	want := "internal/core/engine.go:37: [ctx-propagation] context.Background in library code"

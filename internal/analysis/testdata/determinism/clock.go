@@ -1,0 +1,30 @@
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+// The span-recorder clock pattern (internal/trace): deterministic callers
+// inject their own clock, and the single wall-clock default sits behind a
+// reasoned //lint:allow. The analyzer must stay silent here — the directive
+// is consumed by the reads on the next line, so it is not stale either.
+type recorder struct {
+	clock func() int64
+}
+
+func newRecorder(clock func() int64) *recorder {
+	r := &recorder{clock: clock}
+	if r.clock == nil {
+		r.clock = nanos
+	}
+	return r
+}
+
+//lint:allow determinism observability timestamps never feed deterministic state; deterministic callers inject their own clock
+func nanos() int64 { tOnce.Do(func() { t0 = time.Now() }); return int64(time.Since(t0)) }
+
+var (
+	tOnce sync.Once
+	t0    time.Time
+)

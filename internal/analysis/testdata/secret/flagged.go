@@ -20,3 +20,9 @@ func debugDump(token string) {
 func auditLog(secret []byte) {
 	log.Printf("denied for %x", secret) // want "secret reaches log.Printf"
 }
+
+// Execution-trace span details are served verbatim by the /trace endpoint,
+// so formatting a secret into one is a leak like any log line.
+func spanDetail(token string) string {
+	return fmt.Sprintf("auth %s", token) // want "token reaches fmt.Sprintf"
+}

@@ -1,5 +1,7 @@
 package core
 
+import "github.com/sociograph/reconcile/internal/trace"
+
 // EngineHybrid regime control. The hybrid engine is a scheduling policy, not
 // a new algorithm: before the switch the session runs the parallel engine's
 // full scans, after it the frontier engine's incremental re-scoring. Both
@@ -94,7 +96,9 @@ func (s *Session) endSweep() {
 // output is bit-identical to having run any fixed engine throughout.
 func (s *Session) ensureHybridFrontier() {
 	if s.hybridSwitched && s.fr == nil {
+		sp := s.tracer.Begin(trace.KindHandoff, "parallel->frontier state build")
 		s.fr = newFrontierState(s.g1, s.g2, s.m, s.lc, s.opts)
+		sp.End()
 	}
 }
 

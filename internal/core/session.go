@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/sociograph/reconcile/internal/graph"
+	"github.com/sociograph/reconcile/internal/trace"
 )
 
 // PhaseEvent describes one completed bucket pass. Sessions deliver events to
@@ -50,6 +51,18 @@ type Session struct {
 	// frontier state itself is built lazily at the next bucket.
 	hybridSwitched bool
 	progress       func(PhaseEvent)
+	// tracer receives execution spans (sweeps, buckets, handoffs, seed
+	// ingests) when installed. Like progress it is not part of exported
+	// state: a restored session gets its tracer re-installed by the caller.
+	// The session never reads a clock — all timestamps come from the
+	// recorder, whose clock is injectable, so determinism is untouched.
+	tracer *trace.Recorder
+	// sweepSpan is the open span of the sweep currently running. It is
+	// begun lazily at the first bucket that runs under the sweep — which,
+	// after a mid-sweep restore, is not the sweep-claim boundary — so a
+	// resumed sweep gets exactly one span covering its post-restore part
+	// and sweeps are never double-counted across a kill/resume.
+	sweepSpan *trace.Active
 }
 
 // NewSession prepares an incremental matcher over the two networks with the
@@ -84,6 +97,10 @@ func NewSession(g1, g2 *graph.Graph, seeds []graph.Pair, opts Options) (*Session
 // existing link (either endpoint linked elsewhere) is rejected with an
 // error and no partial state change for that seed.
 func (s *Session) AddSeeds(seeds []graph.Pair) error {
+	if s.tracer != nil {
+		sp := s.tracer.Begin(trace.KindSeedIngest, fmt.Sprintf("%d seeds", len(seeds)))
+		defer sp.End()
+	}
 	for _, p := range seeds {
 		if int(p.Left) < len(s.m.left) && s.m.left[p.Left] == p.Right {
 			continue // already known
@@ -102,6 +119,12 @@ func (s *Session) AddSeeds(seeds []graph.Pair) error {
 // SetProgress installs a hook called synchronously after every bucket pass.
 // A nil fn removes the hook. The hook must not call back into the Session.
 func (s *Session) SetProgress(fn func(PhaseEvent)) { s.progress = fn }
+
+// SetTracer installs a span recorder observing the session's execution
+// (sweeps, bucket phases, hybrid handoff, seed ingests). A nil tr removes
+// it. Like the progress hook, the tracer does not serialize with session
+// state — restore paths re-install it.
+func (s *Session) SetTracer(tr *trace.Recorder) { s.tracer = tr }
 
 // Run performs the given number of full bucket sweeps and returns how many
 // new links were found.
@@ -146,14 +169,29 @@ func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 			remaining--
 			s.sweepMatched = 0
 		}
+		if s.tracer != nil && s.sweepSpan == nil {
+			// Begun at the first bucket that runs under this sweep — at the
+			// claim above normally, mid-schedule after a restore — so every
+			// sweep gets exactly one span even across kill/resume.
+			s.tracer.SetSweep(s.sweeps)
+			s.sweepSpan = s.tracer.Begin(trace.KindSweep, fmt.Sprintf("sweep %d", s.sweeps))
+		}
 		s.ensureHybridFrontier()
 		bi := s.pos
 		minDeg := buckets[bi]
+		var bsp *trace.Active
+		if s.tracer != nil {
+			bsp = s.tracer.Begin(trace.KindBucket, "")
+		}
 		var matched int
 		if s.fr != nil {
 			matched = s.fr.runBucket(s.g1, s.g2, s.m, s.lc, bi, minDeg, s.opts)
 		} else {
 			matched = runBucket(s.g1, s.g2, s.m, s.lc, minDeg, s.opts)
+		}
+		if bsp != nil {
+			bsp.SetDetail(fmt.Sprintf("b%d/%d min %d matched %d", bi+1, len(buckets), minDeg, matched))
+			bsp.End()
 		}
 		s.pos = bi + 1
 		if s.pos == len(buckets) {
@@ -169,6 +207,8 @@ func (s *Session) RunContext(ctx context.Context, sweeps int) (int, error) {
 		})
 		if s.pos == 0 {
 			s.endSweep()
+			s.sweepSpan.End()
+			s.sweepSpan = nil
 		}
 		if s.progress != nil {
 			s.progress(PhaseEvent{

@@ -3,7 +3,18 @@ package graph
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
+
+// openMappings counts live file mappings: +1 when OpenMapped maps a file,
+// -1 when Close unmaps it. Heap-backed instances (legacy files, fallback
+// builds, NewHeapMapped) are not counted — the gauge answers "how many
+// graph files does this process currently have mapped".
+var openMappings atomic.Int64
+
+// OpenMappings returns the number of graph file mappings currently open in
+// this process. cmd/serve exports it as a /metrics gauge.
+func OpenMappings() int { return int(openMappings.Load()) }
 
 // ErrMappedClosed is returned by Acquire once Close has begun: the mapping
 // is (or is about to be) gone, and the caller must reopen rather than race
@@ -48,6 +59,9 @@ func OpenMapped(path string) (*Mapped, error) {
 	}
 	m := &Mapped{g: g, data: data, heap: data == nil}
 	m.drain.L = &m.mu
+	if data != nil {
+		openMappings.Add(1)
+	}
 	return m, nil
 }
 
@@ -121,5 +135,8 @@ func (m *Mapped) Close() error {
 	if data == nil {
 		return nil
 	}
+	// The mapping is gone either way — count it closed even if the unmap
+	// syscall reports an error.
+	openMappings.Add(-1)
 	return unmapFile(data)
 }

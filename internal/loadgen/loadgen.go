@@ -63,6 +63,13 @@ type Config struct {
 	Client *http.Client
 }
 
+// TracePhase aggregates one span kind's execution-trace totals across every
+// job the run finished, folded from each job's /trace endpoint.
+type TracePhase struct {
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
 // Quantiles summarizes one operation's latency histogram, in seconds.
 type Quantiles struct {
 	Count uint64  `json:"count"`
@@ -94,6 +101,10 @@ type Report struct {
 	ElapsedSeconds float64              `json:"elapsedSeconds"`
 	JobsPerSecond  float64              `json:"jobsPerSecond"`
 	Latency        map[string]Quantiles `json:"latency"`
+	// TracePhases is the server-side view of where job time went: per span
+	// kind (sweep, checkpoint-write, slot-wait, ...), summed over the jobs'
+	// execution traces. Empty only when no job finished.
+	TracePhases map[string]TracePhase `json:"tracePhases"`
 }
 
 // driver carries one run's shared state.
@@ -110,6 +121,7 @@ type driver struct {
 	mu         sync.Mutex
 	failures   []string
 	violations []string
+	trace      map[string]TracePhase
 
 	hist map[string]*metrics.Histogram
 }
@@ -142,7 +154,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if !valid {
 		return nil, fmt.Errorf("loadgen: unknown scenario %q (have %v)", cfg.Scenario, Scenarios)
 	}
-	d := &driver{cfg: cfg, client: cfg.Client, hist: map[string]*metrics.Histogram{}}
+	d := &driver{cfg: cfg, client: cfg.Client,
+		hist: map[string]*metrics.Histogram{}, trace: map[string]TracePhase{}}
 	if d.client == nil {
 		d.client = &http.Client{Timeout: 2 * time.Minute}
 	}
@@ -215,6 +228,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			P99:   h.Quantile(0.99),
 		}
 	}
+	rep.TracePhases = d.trace
 	// Failures were appended concurrently; fix their order.
 	sort.Strings(rep.Failures)
 	if rep.Failures == nil {
@@ -479,6 +493,7 @@ func (d *driver) runJob(ctx context.Context, tenantName string, r *xrand.Rand, j
 		if !d.awaitTerminal(ctx, jobURL, "done") {
 			return
 		}
+		d.fetchTrace(ctx, jobURL) // before DELETE destroys the trace
 		start = time.Now()
 		code, err = d.doJSON(ctx, http.MethodDelete, jobURL, nil, nil, nil)
 		d.observe("delete", start)
@@ -488,8 +503,35 @@ func (d *driver) runJob(ctx context.Context, tenantName string, r *xrand.Rand, j
 		}
 		d.deleted.Add(1)
 	}
+	if shape != "deletes" {
+		d.fetchTrace(ctx, jobURL)
+	}
 	d.observe("job", jobStart)
 	d.done.Add(1)
+}
+
+// fetchTrace folds one finished job's per-kind span totals into the run's
+// phase aggregate. A missing trace is not a failure — it just contributes
+// nothing (the report's per-phase section is best-effort observability).
+func (d *driver) fetchTrace(ctx context.Context, jobURL string) {
+	var v struct {
+		Totals map[string]struct {
+			Count int64 `json:"count"`
+			Nanos int64 `json:"nanos"`
+		} `json:"totals"`
+	}
+	code, err := d.doJSON(ctx, http.MethodGet, jobURL+"/trace", nil, &v, nil)
+	if err != nil || code != http.StatusOK {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for kind, t := range v.Totals {
+		p := d.trace[kind]
+		p.Count += t.Count
+		p.Seconds += float64(t.Nanos) / 1e9
+		d.trace[kind] = p
+	}
 }
 
 // awaitSettled polls the job until it leaves "running" and returns the

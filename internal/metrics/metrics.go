@@ -228,8 +228,11 @@ func (h *Histogram) Count() uint64 {
 }
 
 // Quantile returns the upper bound of the bucket containing the q-quantile
-// (0 < q <= 1) — the same estimate a Prometheus histogram_quantile yields
-// with these buckets. With no observations it returns 0.
+// — the same estimate a Prometheus histogram_quantile yields with these
+// buckets. q is clamped into [0, 1]: q <= 0 answers the first populated
+// bucket's bound, q >= 1 the last populated one (+Inf only when
+// observations actually landed past the final bound). With no observations
+// it returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -240,7 +243,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		// q = 0 would otherwise produce rank 0, which every bucket's running
+		// count satisfies — answering upper[0] even when the first buckets
+		// are empty.
+		rank = 1
+	}
 	var seen uint64
 	for i, c := range h.counts {
 		seen += c

@@ -136,9 +136,61 @@ func TestOnCollectRefreshesGauges(t *testing.T) {
 func TestQuantileEmpty(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("h", "empty", nil)
-	if q := h.Quantile(0.99); q != 0 {
-		t.Fatalf("empty quantile = %v", q)
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
 	}
+}
+
+// TestQuantileEdgeCases pins the estimator's boundary behaviour: q clamps
+// into [0, 1] (q <= 0 answers the first populated bucket, q >= 1 the last),
+// a single-bucket population answers that bucket at every q, and an
+// all-overflow population answers +Inf — but +Inf never appears while every
+// observation sits in a finite bucket.
+func TestQuantileEdgeCases(t *testing.T) {
+	buckets := []float64{0.01, 0.1, 1}
+	t.Run("all in first bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", buckets)
+		for i := 0; i < 5; i++ {
+			h.Observe(0.001)
+		}
+		for _, q := range []float64{-0.5, 0, 0.0001, 0.5, 1, 1.5} {
+			if got := h.Quantile(q); got != 0.01 {
+				t.Fatalf("Quantile(%v) = %v, want 0.01", q, got)
+			}
+		}
+	})
+	t.Run("all in +Inf bucket", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", buckets)
+		for i := 0; i < 5; i++ {
+			h.Observe(50)
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); !math.IsInf(got, 1) {
+				t.Fatalf("Quantile(%v) = %v, want +Inf", q, got)
+			}
+		}
+	})
+	t.Run("clamping", func(t *testing.T) {
+		h := NewRegistry().Histogram("h", "", buckets)
+		h.Observe(0.001) // first bucket
+		h.Observe(0.5)   // last finite bucket
+		if got := h.Quantile(0); got != 0.01 {
+			t.Fatalf("Quantile(0) = %v, want first populated bucket 0.01", got)
+		}
+		if got := h.Quantile(-3); got != 0.01 {
+			t.Fatalf("Quantile(-3) = %v, want first populated bucket 0.01", got)
+		}
+		// q >= 1 must answer the last populated finite bucket, not +Inf:
+		// nothing overflowed.
+		if got := h.Quantile(1); got != 1 {
+			t.Fatalf("Quantile(1) = %v, want 1", got)
+		}
+		if got := h.Quantile(7); got != 1 {
+			t.Fatalf("Quantile(7) = %v, want 1", got)
+		}
+	})
 }
 
 func TestRegisterPanics(t *testing.T) {

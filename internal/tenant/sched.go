@@ -147,11 +147,27 @@ func (s *Scheduler) share(name string) int {
 // On success it returns the release function that must be called exactly
 // once when the run finishes.
 func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), err error) {
+	return s.AcquireTraced(ctx, name, nil)
+}
+
+// AcquireTraced is Acquire with a per-call wait observer: obs, if non-nil,
+// receives how long this acquisition waited for its slot, in nanoseconds
+// (zero for grants that never queued), on the acquiring goroutine just
+// before Acquire returns. The global SetWaitObserver hook fires as well —
+// cmd/serve feeds the tenant-wide latency histogram from that and the
+// job's slot-wait trace span from this.
+func (s *Scheduler) AcquireTraced(ctx context.Context, name string, obs func(waitNanos int64)) (release func(), err error) {
+	observe := func(wait time.Duration) {
+		s.observeWait(name, wait.Seconds())
+		if obs != nil {
+			obs(wait.Nanoseconds())
+		}
+	}
 	s.mu.Lock()
 	if s.capacity <= 0 {
 		s.inflight[name]++
 		s.mu.Unlock()
-		s.observeWait(name, 0)
+		observe(0)
 		return func() { s.release(name) }, nil
 	}
 	// Grant inline only when no one is queued anywhere — a free slot with
@@ -161,7 +177,7 @@ func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), e
 		s.total++
 		s.inflight[name]++
 		s.mu.Unlock()
-		s.observeWait(name, 0)
+		observe(0)
 		return func() { s.release(name) }, nil
 	}
 	w := &waiter{ch: make(chan struct{})}
@@ -175,7 +191,7 @@ func (s *Scheduler) Acquire(ctx context.Context, name string) (release func(), e
 
 	select {
 	case <-w.ch:
-		s.observeWait(name, time.Since(start).Seconds())
+		observe(time.Since(start))
 		return func() { s.release(name) }, nil
 	case <-ctx.Done():
 		s.mu.Lock()

@@ -499,3 +499,34 @@ func TestSchedulerStress(t *testing.T) {
 		t.Fatalf("scheduler leaked %d total slots", total)
 	}
 }
+
+// TestSchedulerAcquireTraced: the per-call observer reports zero for inline
+// grants and the elapsed wait for queued ones — the hook cmd/serve hangs a
+// job's slot-wait trace span on.
+func TestSchedulerAcquireTraced(t *testing.T) {
+	s := NewScheduler(1, regWith(t, Config{Name: "a"}))
+	inline := int64(-1)
+	r1, err := s.AcquireTraced(context.Background(), "a", func(ns int64) { inline = ns })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inline != 0 {
+		t.Fatalf("inline grant wait = %dns, want 0", inline)
+	}
+
+	done := make(chan int64, 1)
+	go func() {
+		r2, err := s.AcquireTraced(context.Background(), "a", func(ns int64) { done <- ns })
+		if err != nil {
+			t.Error(err)
+			done <- -1
+			return
+		}
+		r2()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r1()
+	if ns := <-done; ns < int64(15*time.Millisecond) {
+		t.Fatalf("queued grant wait = %dns, want >= 15ms", ns)
+	}
+}

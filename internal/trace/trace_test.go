@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fakeClock is the injectable test clock: every reading advances it by
+// step, so spans get deterministic, strictly increasing timestamps.
+type fakeClock struct {
+	now  int64
+	step int64
+}
+
+func (c *fakeClock) read() int64 {
+	c.now += c.step
+	return c.now
+}
+
+func newTestRecorder(step int64) (*Recorder, *fakeClock) {
+	c := &fakeClock{step: step}
+	return New(Config{Clock: c.read}), c
+}
+
+func TestRecorderTimelineStartsAtZeroAndIsMonotonic(t *testing.T) {
+	r, _ := newTestRecorder(10)
+	sp := r.Begin(KindSweep, "")
+	sp.End()
+	p := r.Export()
+	if len(p.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(p.Spans))
+	}
+	s := p.Spans[0]
+	if s.Start < 0 || s.End <= s.Start {
+		t.Fatalf("span not monotonic from zero: %+v", s)
+	}
+}
+
+func TestNilRecorderAndActiveNoOp(t *testing.T) {
+	var r *Recorder
+	sp := r.Begin(KindBucket, "b")
+	sp.SetDetail("later")
+	sp.End()
+	r.Mark(KindResume, "x")
+	r.Observe(KindGraphOpen, "y", 5)
+	r.SetSweep(3)
+	if got := r.Sweep(); got != 0 {
+		t.Fatalf("nil Sweep = %d", got)
+	}
+	if p := r.Export(); len(p.Spans) != 0 {
+		t.Fatalf("nil Export spans = %d", len(p.Spans))
+	}
+}
+
+func TestSweepWindowEvictionFoldsIntoTotals(t *testing.T) {
+	r, _ := newTestRecorder(1)
+	retain := 4
+	r = New(Config{Clock: (&fakeClock{step: 1}).read, RetainSweeps: retain})
+	sweeps := 10
+	for i := 1; i <= sweeps; i++ {
+		r.SetSweep(i)
+		sp := r.Begin(KindBucket, "")
+		sp.End()
+	}
+	p := r.Export()
+	minSweep := sweeps - retain + 1
+	for _, s := range p.Spans {
+		if s.Sweep < minSweep {
+			t.Fatalf("span from sweep %d survived a window of %d", s.Sweep, retain)
+		}
+	}
+	if len(p.Spans) != retain {
+		t.Fatalf("kept %d spans, want %d", len(p.Spans), retain)
+	}
+	tot := p.Dropped[KindBucket]
+	if tot.Count != int64(sweeps-retain) {
+		t.Fatalf("dropped count = %d, want %d", tot.Count, sweeps-retain)
+	}
+	if tot.Nanos <= 0 {
+		t.Fatalf("dropped nanos = %d, want > 0", tot.Nanos)
+	}
+	// Cumulative totals survive in TotalsByKind alongside the live ring.
+	all := p.TotalsByKind()[KindBucket]
+	if all.Count != int64(sweeps) {
+		t.Fatalf("cumulative count = %d, want %d", all.Count, sweeps)
+	}
+}
+
+func TestHardCapEvictsOldestFirst(t *testing.T) {
+	r := New(Config{Clock: (&fakeClock{step: 1}).read, Cap: 8})
+	for i := 0; i < 20; i++ {
+		r.Observe(KindCheckpointWrite, "", 1)
+	}
+	p := r.Export()
+	if len(p.Spans) != 8 {
+		t.Fatalf("ring = %d spans, want cap 8", len(p.Spans))
+	}
+	if p.Dropped[KindCheckpointWrite].Count != 12 {
+		t.Fatalf("dropped = %d, want 12", p.Dropped[KindCheckpointWrite].Count)
+	}
+	for i := 1; i < len(p.Spans); i++ {
+		if p.Spans[i].End < p.Spans[i-1].End {
+			t.Fatalf("ring out of order at %d", i)
+		}
+	}
+}
+
+func TestRestoreContinuesTimeline(t *testing.T) {
+	r, _ := newTestRecorder(5)
+	r.SetSweep(2)
+	r.Begin(KindSweep, "").End()
+	p := r.Export()
+
+	// A fresh process: the clock restarts from zero, but the restored
+	// timeline must continue after p.Now, never rewind.
+	r2 := Restore(Config{Clock: (&fakeClock{step: 5}).read}, p)
+	r2.Mark(KindResume, "restart")
+	r2.SetSweep(3)
+	r2.Begin(KindSweep, "").End()
+	p2 := r2.Export()
+
+	if p2.Sweep != 3 {
+		t.Fatalf("sweep after restore = %d, want 3", p2.Sweep)
+	}
+	if len(p2.Spans) != 3 {
+		t.Fatalf("spans after restore = %d, want 3 (old sweep + resume + new sweep)", len(p2.Spans))
+	}
+	old := p2.Spans[0]
+	for _, s := range p2.Spans[1:] {
+		if s.Start < old.End {
+			t.Fatalf("restored span %+v starts before persisted timeline end %d", s, old.End)
+		}
+	}
+	var kinds []Kind
+	for _, s := range p2.Spans {
+		kinds = append(kinds, s.Kind)
+	}
+	want := []Kind{KindSweep, KindResume, KindSweep}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestOnSpanObserverSeesEverySpan(t *testing.T) {
+	var got []Span
+	r := New(Config{
+		Clock:  (&fakeClock{step: 2}).read,
+		OnSpan: func(s Span) { got = append(got, s) },
+	})
+	r.Begin(KindBucket, "b1").End()
+	r.Mark(KindResume, "")
+	r.Observe(KindSlotWait, "", 7)
+	if len(got) != 3 {
+		t.Fatalf("observer saw %d spans, want 3", len(got))
+	}
+	if got[2].End-got[2].Start != 7 {
+		t.Fatalf("observed duration = %d, want 7", got[2].End-got[2].Start)
+	}
+}
+
+func TestSetDetailAfterBegin(t *testing.T) {
+	r, _ := newTestRecorder(1)
+	sp := r.Begin(KindBucket, "before")
+	sp.SetDetail("matched 42")
+	sp.End()
+	if d := r.Export().Spans[0].Detail; d != "matched 42" {
+		t.Fatalf("detail = %q", d)
+	}
+}
+
+func TestPersistedJSONRoundTrip(t *testing.T) {
+	r, _ := newTestRecorder(3)
+	r.SetSweep(1)
+	r.Begin(KindSweep, "").End()
+	r.Observe(KindCheckpointWrite, "shard 0 full", 9)
+	p := r.Export()
+	buf, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Persisted
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != len(p.Spans) || back.Now != p.Now || back.Sweep != p.Sweep {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, p)
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	r, _ := newTestRecorder(1000)
+	r.SetSweep(1)
+	sp := r.Begin(KindBucket, "b0 min 8")
+	sp.End()
+	ct := r.Export().Chrome("job-7")
+
+	var complete []ChromeEvent
+	meta := 0
+	for _, ev := range ct.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete = append(complete, ev)
+		default:
+			t.Fatalf("unexpected ph %q", ev.Ph)
+		}
+	}
+	// process_name plus one thread_name per kind.
+	if want := 1 + len(Kinds()); meta != want {
+		t.Fatalf("metadata events = %d, want %d", meta, want)
+	}
+	if len(complete) != 1 {
+		t.Fatalf("complete events = %d, want 1", len(complete))
+	}
+	ev := complete[0]
+	if ev.Cat != string(KindBucket) || ev.Dur == nil || *ev.Dur <= 0 || ev.Ts < 0 {
+		t.Fatalf("bad event %+v", ev)
+	}
+	if ev.Args["sweep"] != 1 {
+		t.Fatalf("sweep arg = %v", ev.Args["sweep"])
+	}
+	// The payload must marshal: it is served directly by /trace?format=chrome.
+	if _, err := json.Marshal(ct); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultClockIsMonotonic(t *testing.T) {
+	r := New(Config{})
+	r.Begin(KindSweep, "").End()
+	r.Begin(KindSweep, "").End()
+	p := r.Export()
+	if len(p.Spans) != 2 {
+		t.Fatalf("spans = %d", len(p.Spans))
+	}
+	if p.Spans[1].Start < p.Spans[0].Start || p.Spans[0].Start < 0 {
+		t.Fatalf("default clock not monotonic: %+v", p.Spans)
+	}
+}

@@ -96,3 +96,9 @@ func (m *MappedGraph) Release() { m.m.Release() }
 // shutdown path — never close a mapping a run may still be scanning
 // (Acquire/Release makes that impossible to get wrong: Close waits).
 func (m *MappedGraph) Close() error { return m.m.Close() }
+
+// OpenMappings returns the number of graph file mappings this process
+// currently holds open: incremented when OpenGraphMapped serves a real
+// mapping, decremented by Close. Heap fallbacks are not counted. cmd/serve
+// exports it as the reconcile_graph_open_mappings gauge.
+func OpenMappings() int { return graph.OpenMappings() }

@@ -33,6 +33,7 @@ type settings struct {
 	opts     Options
 	seeds    []Pair
 	progress func(PhaseEvent)
+	tracer   *TraceRecorder
 }
 
 // Option configures a Reconciler at construction; see the With functions.
@@ -118,6 +119,7 @@ func New(g1, g2 *Graph, opts ...Option) (*Reconciler, error) {
 		return nil, err
 	}
 	sess.SetProgress(s.progress)
+	sess.SetTracer(s.tracer)
 	return &Reconciler{sess: sess, opts: s.opts}, nil
 }
 

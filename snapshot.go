@@ -75,7 +75,9 @@ func (r *Reconciler) Resume(ctx context.Context) (*Result, error) {
 //     hybrid infers which regime the run is in from the recorded commit
 //     history);
 //   - WithWorkers and WithIterations re-tune execution;
-//   - WithProgress re-installs a progress hook (hooks do not serialize);
+//   - WithProgress re-installs a progress hook (hooks do not serialize),
+//     and WithTracer a span recorder (tracers do not either — continue a
+//     persisted trace with RestoreTraceRecorder);
 //   - WithSeeds ingests new trusted links, exactly like AddSeeds after
 //     restore.
 //
@@ -142,6 +144,7 @@ func restoreReconciler(g1, g2 *Graph, st *core.SessionState, opts []Option) (*Re
 		return nil, err
 	}
 	sess.SetProgress(s.progress)
+	sess.SetTracer(s.tracer)
 	if len(s.seeds) > 0 {
 		if err := sess.AddSeeds(s.seeds); err != nil {
 			return nil, err
